@@ -1,0 +1,171 @@
+"""Ablation benches for the design decisions DESIGN.md calls out.
+
+* slack-threshold sweep: sensors inserted vs coverage (Section 4.2's
+  threshold-based binning knob);
+* TLM protocol overhead: loosely-timed quantum sweep vs
+  approximately-timed per-cycle synchronisation (Section 2.4);
+* data-type ablation across all three libraries on identical
+  workloads (Section 5.3).
+"""
+
+import pytest
+
+from repro.flow import characterize
+from repro.ips import CASE_STUDIES, case_study
+from repro.reporting import format_table
+from repro.sta import bin_critical_paths
+from repro.stimuli import lfsr_vectors
+from repro.tlm import ApproximatelyTimedDriver, CycleTarget, LooselyTimedDriver
+
+from conftest import emit_report
+
+
+def test_threshold_sweep(once):
+    def _body():
+        """Coverage grows monotonically with the binning threshold."""
+        rows = []
+        for name, spec in CASE_STUDIES.items():
+            module, clk, synth, sta, _ = characterize(spec)
+            period = spec.clock_period_ps
+            fractions = (0.5, 0.7, 0.8, 0.9, 1.0)
+            counts = []
+            for fraction in fractions:
+                binned = bin_critical_paths(sta, threshold_ps=fraction * period)
+                counts.append(binned.count)
+                rows.append([
+                    spec.title, f"{fraction:.1f} T", binned.count,
+                    f"{100 * binned.coverage:.0f}%",
+                ])
+            assert counts == sorted(counts), "coverage must be monotone"
+        table = format_table(
+            ["Digital IP", "Slack threshold", "Sensors (#)", "Coverage"],
+            rows,
+            title="Ablation: critical-path binning threshold sweep",
+        )
+        emit_report("ablation_threshold.txt", table)
+
+    once(_body)
+
+
+@pytest.fixture(scope="module")
+def filter_model():
+    from repro.abstraction import generate_tlm
+
+    module, clk = case_study("filter").factory()
+    return generate_tlm(module, variant="hdtlib")
+
+
+@pytest.mark.parametrize("quantum", [1, 10, 100])
+def test_lt_quantum_speed(benchmark, filter_model, quantum):
+    """Benchmark: loosely-timed driver at different quanta."""
+    stimuli = case_study("filter").stimulus(256)
+
+    def run():
+        target = CycleTarget(filter_model.instantiate(), 1000)
+        driver = LooselyTimedDriver(quantum_cycles=quantum)
+        driver.socket.bind(target.socket)
+        driver.run(stimuli)
+        return driver
+
+    driver = benchmark(run)
+    assert driver.stats.transactions == 256
+
+
+def test_at_driver_speed(benchmark, filter_model):
+    """Benchmark: approximately-timed driver (sync every cycle)."""
+    stimuli = case_study("filter").stimulus(256)
+
+    def run():
+        target = CycleTarget(filter_model.instantiate(), 1000)
+        driver = ApproximatelyTimedDriver()
+        driver.socket.bind(target.socket)
+        driver.run(stimuli)
+        return driver
+
+    driver = benchmark(run)
+    assert driver.stats.syncs == 256  # AT synchronises per transaction
+
+
+def test_protocols_report(filter_model, once):
+    def _body():
+        import time
+
+        stimuli = case_study("filter").stimulus(512)
+        rows = []
+        for label, make in (
+            ("LT, quantum 100", lambda: LooselyTimedDriver(100)),
+            ("LT, quantum 10", lambda: LooselyTimedDriver(10)),
+            ("LT, quantum 1", lambda: LooselyTimedDriver(1)),
+            ("AT, two-phase", ApproximatelyTimedDriver),
+        ):
+            target = CycleTarget(filter_model.instantiate(), 1000)
+            driver = make()
+            driver.socket.bind(target.socket)
+            t0 = time.perf_counter()
+            driver.run(stimuli)
+            seconds = time.perf_counter() - t0
+            rows.append([label, driver.stats.syncs, f"{seconds:.4f}"])
+        table = format_table(
+            ["Protocol", "Syncs", "Time (s)"],
+            rows,
+            title="Ablation: TLM protocol overhead (Section 2.4 LT vs AT)",
+        )
+        emit_report("ablation_protocols.txt", table)
+
+    once(_body)
+
+
+def test_datatype_ablation(once):
+    def _body():
+        """All three data-type layers on one workload: LV (RTL-accurate),
+        ScLogicVector (SystemC-style), raw ints (HDTLib)."""
+        import time
+
+        from repro.hdtlib import ops
+        from repro.rtl.types import LV
+        from repro.sctypes import ScLogicVector
+
+        vectors = [v["pdm_in"] * 0xA5A5 + i for i, v in
+                   enumerate(lfsr_vectors({"pdm_in": 16}, 400))]
+        rows = []
+
+        def mac_lv():
+            acc = LV.from_int(32, 0)
+            for v in vectors:
+                acc = (acc + LV.from_int(32, v)) ^ LV.from_int(32, v << 1)
+            return acc
+
+        def mac_sc():
+            acc = ScLogicVector.from_int(32, 0)
+            for v in vectors:
+                acc = (acc + ScLogicVector.from_int(32, v)) ^ \
+                    ScLogicVector.from_int(32, v << 1)
+            return acc
+
+        def mac_int():
+            acc = 0
+            for v in vectors:
+                acc = ops.add(acc, v, 32) ^ ops.shl(v, 1, 32)
+            return acc
+
+        results = {}
+        for label, fn in (("LV (4-value planes)", mac_lv),
+                          ("ScLogicVector (SystemC-style)", mac_sc),
+                          ("raw ints (HDTLib)", mac_int)):
+            t0 = time.perf_counter()
+            for _ in range(30):
+                out = fn()
+            results[label] = time.perf_counter() - t0
+            rows.append([label, f"{results[label]:.4f}"])
+        # Same numerical result across the stack.
+        assert mac_lv().to_int() == mac_sc().to_int() == mac_int()
+        # HDTLib must be the fastest layer.
+        assert results["raw ints (HDTLib)"] == min(results.values())
+        table = format_table(
+            ["Data types", "Time (s, 30x400 MACs)"],
+            rows,
+            title="Ablation: data-type library cost (Section 5.3)",
+        )
+        emit_report("ablation_datatypes.txt", table)
+
+    once(_body)

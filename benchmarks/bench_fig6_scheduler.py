@@ -1,0 +1,120 @@
+"""Fig. 6 -- RTL scheduler vs generated TLM scheduler equivalence.
+
+The abstraction's correctness claim: the TLM ``scheduler()`` function
+reproduces one full RTL simulation cycle (synchronous processes,
+delta cycles, both edges).  This bench drives the Plasma CPU -- the
+most control-heavy IP -- in lockstep at both levels over its real
+workload and measures both throughputs.
+"""
+
+import pytest
+
+from repro.abstraction import generate_tlm
+from repro.ips.plasma import build_plasma, fibonacci_program
+from repro.reporting import format_kv
+from repro.rtl import Simulation
+
+from conftest import emit_report
+
+CYCLES = 150
+
+
+def build_pair():
+    m_rtl, clk = build_plasma(fibonacci_program())
+    m_tlm, _ = build_plasma(fibonacci_program())
+    gen = generate_tlm(m_tlm, variant="hdtlib")
+    return m_rtl, clk, gen
+
+
+def test_lockstep_equivalence(once):
+    def _body():
+        m, clk, gen = build_pair()
+        sim = Simulation(m, {clk: 5000}, input_launch_at_edge=True)
+        model = gen.instantiate()
+        ports = ["debug_out", "pc_out", "halted_o", "instret_o"]
+        signals = {p: m.find_signal(p) for p in ports}
+        divergences = 0
+        for cycle in range(CYCLES):
+            sim.cycle({m.find_signal("ext_in"): cycle})
+            outs = model.b_transport({"ext_in": cycle})
+            for port in ports:
+                if outs[port] != sim.peek_int(signals[port]):
+                    divergences += 1
+        assert divergences == 0, f"{divergences} port-cycle divergences"
+        # The program must actually have run (fib(12) published).
+        assert model.get_output("debug_out") == 144
+
+    once(_body)
+
+
+def test_delta_cycles_preserved(once):
+    def _body():
+        """Multi-stage combinational updates settle within one scheduler
+        call at both levels (the delta-cycle emulation of Fig. 6.b)."""
+        m, clk, gen = build_pair()
+        model = gen.instantiate()
+        # A single call must propagate a fetched instruction through
+        # decode -> regread -> ALU -> writeback combinational stages:
+        # observable because the CPU executes one instruction per cycle.
+        before = model.get_output("instret_o")
+        model.b_transport({"ext_in": 0})
+        assert model.get_output("instret_o") == before + 1
+
+    once(_body)
+
+
+def test_rtl_throughput(benchmark):
+    m, clk, gen = build_pair()
+
+    def run():
+        sim = Simulation(m, {clk: 5000})
+        ext_in = m.find_signal("ext_in")
+        for i in range(CYCLES):
+            sim.cycle({ext_in: i})
+        return sim
+
+    benchmark(run)
+
+
+def test_tlm_throughput(benchmark):
+    m, clk, gen = build_pair()
+
+    def run():
+        model = gen.instantiate()
+        for i in range(CYCLES):
+            model.b_transport({"ext_in": i})
+        return model
+
+    benchmark(run)
+
+
+def test_report_scheduler_equivalence(once):
+    def _body():
+        import time
+
+        m, clk, gen = build_pair()
+        sim = Simulation(m, {clk: 5000})
+        ext_in = m.find_signal("ext_in")
+        t0 = time.perf_counter()
+        for i in range(CYCLES):
+            sim.cycle({ext_in: i})
+        rtl_s = time.perf_counter() - t0
+        model = gen.instantiate()
+        t0 = time.perf_counter()
+        for i in range(CYCLES):
+            model.b_transport({"ext_in": i})
+        tlm_s = time.perf_counter() - t0
+        emit_report(
+            "fig6_scheduler.txt",
+            "Fig. 6: RTL scheduler vs TLM scheduler() on Plasma/fib\n"
+            + format_kv([
+                ("cycles", CYCLES),
+                ("RTL kernel (s)", round(rtl_s, 4)),
+                ("TLM scheduler (s)", round(tlm_s, 4)),
+                ("RTL cycles/s", int(CYCLES / rtl_s)),
+                ("TLM cycles/s", int(CYCLES / tlm_s)),
+                ("speedup", round(rtl_s / tlm_s, 2)),
+            ]),
+        )
+
+    once(_body)

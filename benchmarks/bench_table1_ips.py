@@ -1,0 +1,66 @@
+"""Table 1 -- characteristics of the IPs used as case studies.
+
+Regenerates, for each IP: RTL lines of code (generated VHDL), primary
+input/output pin counts, operating point (VDD, fclk), flip-flop count,
+NAND2-equivalent gate count and synchronous/asynchronous process
+counts.  The benchmarked operation is the synthesis pass that produces
+the gate statistics.
+"""
+
+import pytest
+
+from repro.flow import characterize
+from repro.ips import CASE_STUDIES
+from repro.reporting import format_table
+from repro.rtl import count_loc, emit_vhdl
+from repro.synth import synthesize
+
+from conftest import emit_report
+
+
+@pytest.mark.parametrize("ip", list(CASE_STUDIES))
+def test_synthesis_speed(benchmark, ip):
+    """Benchmark: operator-level synthesis of one IP."""
+    spec = CASE_STUDIES[ip]
+    module, clk = spec.factory()
+    result = benchmark(synthesize, module)
+    assert result.area_nand2 > 0
+
+
+def test_regenerate_table1(once):
+    def _body():
+        rows = []
+        for name, spec in CASE_STUDIES.items():
+            module, clk, synth, sta, critical = characterize(spec)
+            stats = module.stats()
+            loc = count_loc(emit_vhdl(module))
+            rows.append([
+                spec.title,
+                loc,
+                stats["inputs"],
+                stats["outputs"],
+                spec.vdd,
+                spec.fclk_ghz,
+                stats["flip_flops"],
+                synth.gate_count,
+                stats["sync_processes"],
+                stats["comb_processes"],
+            ])
+            # Shape checks mirroring the paper's Table 1 relationships.
+            assert stats["flip_flops"] > 0
+            assert synth.gate_count > stats["flip_flops"]
+        table = format_table(
+            ["Digital IP", "RTL (loc)", "PI (#)", "PO (#)", "VDD [V]",
+             "fclk [GHz]", "FF (#)", "Gates (#)", "Proc. sync", "Proc. async"],
+            rows,
+            title="Table 1: characteristics of the IPs used as case studies",
+        )
+        emit_report("table1.txt", table)
+
+        # Plasma is the largest IP, as in the paper.
+        by_name = {row[0]: row for row in rows}
+        plasma_gates = by_name["Plasma (MIPS R3000A subset)"][7]
+        filter_gates = by_name["MEMS decimation filter"][7]
+        assert plasma_gates > filter_gates
+
+    once(_body)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Case study 3: MEMS-microphone decimation filter.
+
+Feeds a sigma-delta PDM stream through the CIC + FIR decimation chain,
+prints the recovered PCM waveform, then runs the cross-level flow with
+both sensor types and compares their footprints -- the Razor-vs-
+Counter trade-off of the paper's Table 2.
+
+Run:  python examples/decimation_filter.py
+"""
+
+from repro.flow import run_flow
+from repro.ips import case_study
+from repro.ips.filter import build_filter, pdm_stimulus
+from repro.reporting import format_kv, format_table
+from repro.rtl import Simulation
+
+
+def pcm_chart(samples, width=64, height=9):
+    """ASCII chart of signed PCM samples."""
+    if not samples:
+        return "  (no samples)"
+    peak = max(abs(s) for s in samples) or 1
+    indices = range(min(width, len(samples)))
+    rows = []
+    for level in range(height, -height - 1, -2):
+        threshold = peak * level / height
+        row = []
+        for i in indices:
+            value = samples[i]
+            row.append("*" if abs(value - threshold) <= peak / height
+                       else ("-" if level == 0 else " "))
+        rows.append("  " + "".join(row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    print("PDM -> PCM decimation (CIC/16 + compensation FIR + halfband/2)")
+    print("=" * 68)
+    module, clk = build_filter()
+    sim = Simulation(module, {clk: 1000})
+    pdm_in = module.find_signal("pdm_in")
+    pcm_out = module.find_signal("pcm_out")
+    pcm_valid = module.find_signal("pcm_valid")
+    samples = []
+    for vec in pdm_stimulus(2048):
+        sim.cycle({pdm_in: vec["pdm_in"]})
+        if sim.peek_int(pcm_valid):
+            raw = sim.peek_int(pcm_out)
+            samples.append(raw - 65536 if raw >= 32768 else raw)
+    print(pcm_chart(samples))
+    print(format_kv([
+        ("PDM bits in", 2048),
+        ("PCM samples out", len(samples)),
+        ("decimation", "32x"),
+        ("peak amplitude", max(abs(s) for s in samples)),
+    ]))
+
+    print("\nSensor trade-off: Razor vs Counter (paper Table 2 shape)")
+    print("=" * 68)
+    razor = run_flow(case_study("filter"), "razor")
+    counter = run_flow(case_study("filter"), "counter")
+    print(format_table(
+        ["metric", "Razor version", "Counter version"],
+        [
+            ["sensors inserted", razor.sensors_inserted,
+             counter.sensors_inserted],
+            ["augmented RTL (VHDL loc)", razor.augmented_rtl_loc,
+             counter.augmented_rtl_loc],
+            ["TLM scheduler", razor.tlm_optimized.scheduler_kind,
+             counter.tlm_optimized.scheduler_kind],
+            ["injected TLM (loc)", razor.injected.loc,
+             counter.injected.loc],
+            ["mutants", razor.mutation.total, counter.mutation.total],
+            ["killed (%)", f"{razor.mutation.killed_pct:.1f}",
+             f"{counter.mutation.killed_pct:.1f}"],
+            ["corrected (%)",
+             f"{razor.mutation.corrected_pct:.1f}", "n.a."],
+            ["errors risen (%)", f"{razor.mutation.risen_pct:.1f}",
+             f"{counter.mutation.risen_pct:.1f}"],
+        ],
+    ))
+    print("\nRazor gives detection+correction with small area; the "
+          "Counter version costs more RTL\nbut reports quantitative "
+          "delay measurements and tolerates sub-threshold delays.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate the Razor timing diagram of the paper's Fig. 4.b.
+
+Three phases on a live RTL simulation of a monitored path:
+cycle with correct timing (E=0), detected timing failure (E=1, R=0),
+and detection + correction (E=1, R=1, pipeline stalled one cycle).
+
+Run:  python examples/razor_waveforms.py
+"""
+
+from repro.rtl import Assign, Module, WaveRecorder, const
+from repro.sensors import insert_sensors
+from repro.sta import analyze, bin_critical_paths
+from repro.synth import synthesize
+
+PERIOD = 1000
+
+
+def main() -> None:
+    m = Module("fig4")
+    clk = m.input("clk")
+    din = m.input("din", 8)
+    data = m.signal("data", 8)
+    dout = m.output("dout", 8)
+    m.sync("p_data", clk, [Assign(data, din + const(1, 8))])
+    m.comb("p_out", [Assign(dout, data)])
+
+    report = analyze(synthesize(m), clock_period_ps=PERIOD)
+    aug = insert_sensors(m, clk, bin_critical_paths(report, 1e9),
+                         sensor_type="razor")
+    tap = aug.bank.taps[0]
+    sim = aug.make_simulation(input_launch_at_edge=True)
+    recorder = WaveRecorder(sim, [
+        clk, tap.endpoint, tap.register, tap.error, aug.bank.stall,
+    ])
+
+    nominal = aug.nominal_delay_of[tap.endpoint]
+    print(f"monitored path: {tap.register.name}  nominal delay "
+          f"{nominal} ps (clock {PERIOD} ps)")
+    print()
+    annotations = []
+    for cycle in range(9):
+        recovery = 1 if cycle >= 5 else 0
+        if cycle in (3, 6):
+            # Late arrival inside the Razor window (cycle 2 / cycle 3
+            # of the paper's diagram).
+            sim.inject_extra_delay(tap.endpoint, int(1.2 * PERIOD) - nominal)
+        sim.cycle({din: 16 + 8 * cycle, aug.bank.recovery: recovery})
+        sim.clear_injection(tap.endpoint)
+        e = sim.peek_int(tap.error)
+        s = sim.peek_int(aug.bank.stall)
+        label = "correct timing"
+        if e and not recovery:
+            label = "timing failure DETECTED (R=0)"
+        elif e and recovery:
+            label = "timing failure DETECTED + CORRECTED (R=1, stall)"
+        annotations.append(f"cycle {cycle}:  E={e} stall={s}  {label}")
+
+    print(recorder.render(0, 10 * PERIOD, PERIOD // 10))
+    print()
+    for line in annotations:
+        print(" ", line)
+    print("\nLegend: '#' high, '_' low; multi-bit signals show their "
+          "value at each change ('|xx').")
+    print("Each main-clock period corresponds to one TLM transaction "
+          "(Fig. 7).")
+
+
+if __name__ == "__main__":
+    main()

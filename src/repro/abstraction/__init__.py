@@ -1,0 +1,13 @@
+"""RTL-to-TLM abstraction: data-type backends and code generation."""
+
+from .codegen import GeneratedTlm, MutantSpec, generate_tlm
+from .datatypes import BACKENDS, IntBackend, ScBackend
+
+__all__ = [
+    "GeneratedTlm",
+    "MutantSpec",
+    "generate_tlm",
+    "BACKENDS",
+    "IntBackend",
+    "ScBackend",
+]

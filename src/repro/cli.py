@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the registered case studies and their operating points.
+``flow <ip> <sensor>``
+    Run the full four-step methodology on one IP with ``razor`` or
+    ``counter`` sensors and print the campaign summary.
+``timing <ip> <sensor> [cycles]``
+    Measure the RTL / TLM / optimised-TLM simulation times on the IP's
+    testbench workload.
+``emit <ip> {vhdl|tlm} [--sensor razor|counter]``
+    Print the generated VHDL of the (augmented) IP, or the generated
+    TLM Python model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.flow import run_flow, speedup, time_rtl, time_tlm
+from repro.ips import CASE_STUDIES, case_study
+from repro.reporting import format_kv, format_table
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [spec.name, spec.title, f"{spec.fclk_ghz} GHz", spec.vdd,
+         spec.slack_threshold_ps, spec.mutation_cycles]
+        for spec in CASE_STUDIES.values()
+    ]
+    print(format_table(
+        ["name", "title", "fclk", "VDD", "slack threshold (ps)",
+         "testbench cycles"],
+        rows,
+        title="Registered case studies",
+    ))
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    spec = case_study(args.ip)
+    result = run_flow(spec, args.sensor)
+    report = result.mutation
+    print(format_kv([
+        ("IP", spec.title),
+        ("sensor type", args.sensor),
+        ("critical paths / sensors", result.sensors_inserted),
+        ("original RTL (VHDL loc)", result.original_rtl_loc),
+        ("augmented RTL (VHDL loc)", result.augmented_rtl_loc),
+        ("TLM loc (sctypes / hdtlib / injected)",
+         f"{result.tlm_standard.loc} / {result.tlm_optimized.loc} / "
+         f"{result.injected.loc}"),
+        ("mutants", report.total),
+        ("killed", f"{report.killed_pct:.1f}%"),
+        ("corrected", f"{report.corrected_pct:.1f}%"
+         if report.corrected_pct is not None else "n.a."),
+        ("errors risen", f"{report.risen_pct:.1f}%"),
+        ("campaign time", f"{report.seconds:.2f} s"),
+    ]))
+    return 0 if report.killed_pct == 100.0 else 1
+
+
+def _cmd_timing(args) -> int:
+    spec = case_study(args.ip)
+    result = run_flow(spec, args.sensor, run_mutation=False)
+    stimuli = spec.stimulus(args.cycles or spec.mutation_cycles)
+    rtl = time_rtl(result.augmented, stimuli)
+    std = time_tlm(result.tlm_standard, stimuli)
+    opt = time_tlm(result.tlm_optimized, stimuli)
+    print(format_table(
+        ["level", "time (s)", "cycles/s", "speedup vs RTL"],
+        [
+            ["RTL (event-driven)", f"{rtl.seconds:.4f}",
+             int(rtl.cycles_per_second), "1.00x"],
+            ["TLM (sctypes)", f"{std.seconds:.4f}",
+             int(std.cycles_per_second), f"{speedup(rtl, std):.2f}x"],
+            ["TLM (hdtlib)", f"{opt.seconds:.4f}",
+             int(opt.cycles_per_second), f"{speedup(rtl, opt):.2f}x"],
+        ],
+        title=f"{spec.title} / {args.sensor}: {len(stimuli)} cycles",
+    ))
+    return 0
+
+
+def _cmd_emit(args) -> int:
+    from repro.abstraction import generate_tlm
+    from repro.rtl import emit_vhdl
+    from repro.sensors import insert_sensors
+    from repro.sta import analyze, bin_critical_paths
+    from repro.synth import synthesize
+
+    spec = case_study(args.ip)
+    module, clk = spec.factory()
+    augmented = None
+    if args.sensor:
+        sta = analyze(synthesize(module), spec.clock_period_ps)
+        critical = bin_critical_paths(sta, spec.slack_threshold_ps)
+        augmented = insert_sensors(
+            module, clk, critical, sensor_type=args.sensor
+        )
+    if args.kind == "vhdl":
+        print(emit_vhdl(module))
+    else:
+        gen = generate_tlm(
+            module,
+            variant=args.variant,
+            augmented=augmented,
+        )
+        print(gen.source)
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-level verification of sensor-augmented IPs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show registered case studies")
+
+    p_flow = sub.add_parser("flow", help="run the full methodology")
+    p_flow.add_argument("ip", choices=sorted(CASE_STUDIES))
+    p_flow.add_argument("sensor", choices=["razor", "counter"])
+
+    p_time = sub.add_parser("timing", help="RTL vs TLM simulation speed")
+    p_time.add_argument("ip", choices=sorted(CASE_STUDIES))
+    p_time.add_argument("sensor", choices=["razor", "counter"])
+    p_time.add_argument("cycles", nargs="?", type=int, default=None)
+
+    p_emit = sub.add_parser("emit", help="print generated VHDL / TLM")
+    p_emit.add_argument("ip", choices=sorted(CASE_STUDIES))
+    p_emit.add_argument("kind", choices=["vhdl", "tlm"])
+    p_emit.add_argument("--sensor", choices=["razor", "counter"],
+                        default=None)
+    p_emit.add_argument("--variant", choices=["sctypes", "hdtlib"],
+                        default="hdtlib")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "flow": _cmd_flow,
+        "timing": _cmd_timing,
+        "emit": _cmd_emit,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

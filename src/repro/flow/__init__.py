@@ -1,0 +1,14 @@
+"""End-to-end methodology orchestration and timing measurement."""
+
+from .measure import LevelTiming, speedup, time_rtl, time_tlm
+from .pipeline import FlowResult, characterize, run_flow
+
+__all__ = [
+    "LevelTiming",
+    "speedup",
+    "time_rtl",
+    "time_tlm",
+    "FlowResult",
+    "characterize",
+    "run_flow",
+]

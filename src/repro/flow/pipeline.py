@@ -1,0 +1,166 @@
+"""End-to-end orchestration of the verification methodology (Fig. 3).
+
+One :func:`run_flow` call executes the four steps for one IP and one
+sensor type:
+
+1. characterise: synthesis, STA, threshold binning (Section 4.2);
+2. insert sensors at the critical endpoints (Section 4);
+3. abstract the augmented IP to TLM -- standard (sctypes) and
+   optimised (hdtlib) variants (Section 5) -- and emit the VHDL of
+   the original and augmented RTL for the lines-of-code metrics;
+4. inject delay mutants (ADAM, Section 6) and run the mutation
+   analysis, optionally cross-validating at RTL (Sections 7-8).
+
+The result object carries every artefact the benchmark harness needs
+to regenerate the paper's Tables 1-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.abstraction import GeneratedTlm, generate_tlm
+from repro.ips import IpSpec
+from repro.mutation import (
+    MutationReport,
+    RtlValidationReport,
+    inject_mutants,
+    run_mutation_analysis,
+    validate_at_rtl,
+)
+from repro.rtl import count_loc, emit_vhdl
+from repro.sensors import AugmentedIP, insert_sensors
+from repro.sta import CriticalPathReport, StaReport, analyze, bin_critical_paths
+from repro.synth import SynthesisResult, synthesize
+
+__all__ = ["FlowResult", "run_flow", "characterize"]
+
+
+@dataclass
+class FlowResult:
+    """Artefacts of one IP x sensor-type flow run."""
+
+    spec: IpSpec
+    sensor_type: str
+    synth: SynthesisResult
+    sta: StaReport
+    critical: CriticalPathReport
+    augmented: AugmentedIP
+    original_rtl_loc: int
+    augmented_rtl_loc: int
+    tlm_standard: GeneratedTlm        # sctypes data types (Table 3)
+    tlm_optimized: GeneratedTlm       # hdtlib data types (Table 4)
+    injected: GeneratedTlm            # mutant-injected (Table 5)
+    mutation: "MutationReport | None" = None
+    rtl_validation: "RtlValidationReport | None" = None
+
+    @property
+    def sensors_inserted(self) -> int:
+        return self.augmented.sensor_count
+
+    def golden_factory(self):
+        """Fresh non-injected optimised-TLM instances (campaign golden)."""
+        gen = self.tlm_optimized
+        return lambda: gen.instantiate()
+
+
+def characterize(spec: IpSpec):
+    """Step 0: synthesis + STA + binning on a fresh IP instance."""
+    module, clk = spec.factory()
+    synth = synthesize(module)
+    sta = analyze(synth, clock_period_ps=spec.clock_period_ps)
+    critical = bin_critical_paths(sta, spec.slack_threshold_ps)
+    return module, clk, synth, sta, critical
+
+
+def run_flow(
+    spec: IpSpec,
+    sensor_type: str,
+    *,
+    mutation_cycles: "int | None" = None,
+    run_mutation: bool = True,
+    run_rtl_validation: bool = False,
+    rtl_validation_cycles: "int | None" = None,
+) -> FlowResult:
+    """Execute the full methodology for one IP and sensor type."""
+    # -- step 0/1: characterise and insert sensors ------------------------
+    module, clk, synth, sta, critical = characterize(spec)
+    original_rtl_loc = count_loc(emit_vhdl(module))
+    calibration = None
+    if sensor_type == "counter":
+        # The IP's own testbench selects each endpoint's critical bit.
+        calibration = spec.stimulus(min(spec.mutation_cycles, 128))
+    augmented = insert_sensors(
+        module,
+        clk,
+        critical,
+        sensor_type=sensor_type,
+        calibration_stimuli=calibration,
+    )
+    augmented_rtl_loc = count_loc(emit_vhdl(module))
+
+    # -- step 2: RTL-to-TLM abstraction, both data-type variants ------------
+    tlm_standard = generate_tlm(
+        module, variant="sctypes", augmented=augmented
+    )
+    tlm_optimized = generate_tlm(
+        module, variant="hdtlib", augmented=augmented
+    )
+
+    # -- step 3: mutant injection (ADAM) -------------------------------------
+    injected = inject_mutants(augmented, variant="hdtlib")
+
+    result = FlowResult(
+        spec=spec,
+        sensor_type=sensor_type,
+        synth=synth,
+        sta=sta,
+        critical=critical,
+        augmented=augmented,
+        original_rtl_loc=original_rtl_loc,
+        augmented_rtl_loc=augmented_rtl_loc,
+        tlm_standard=tlm_standard,
+        tlm_optimized=tlm_optimized,
+        injected=injected,
+    )
+
+    # -- step 4: mutation analysis ---------------------------------------------
+    if mutation_cycles is None:
+        mutation_cycles = spec.mutation_cycles
+    if rtl_validation_cycles is None:
+        # Full campaign length: slowly-toggling endpoints (e.g. the
+        # filter's /32-decimated output registers) need the complete
+        # testbench to be stimulated at RTL too.
+        rtl_validation_cycles = spec.mutation_cycles
+    if run_mutation:
+        stimuli = spec.stimulus(mutation_cycles)
+        result.mutation = run_mutation_analysis(
+            result.golden_factory(),
+            injected,
+            stimuli,
+            ip_name=spec.name,
+            sensor_type=sensor_type,
+            recovery=True,
+        )
+
+    if run_rtl_validation:
+        stimuli = spec.stimulus(rtl_validation_cycles)
+        input_ports = {p.name: p for p in augmented.module.inputs()}
+        extra = {}
+        if sensor_type == "razor":
+            extra[augmented.bank.recovery] = 0
+
+        def drive(sim, i):
+            vec = stimuli[i % len(stimuli)]
+            pokes = {input_ports[k]: v for k, v in vec.items()}
+            pokes.update(extra)
+            sim.cycle(pokes)
+
+        result.rtl_validation = validate_at_rtl(
+            augmented,
+            injected.mutants,
+            drive,
+            cycles=rtl_validation_cycles,
+            ip_name=spec.name,
+        )
+    return result

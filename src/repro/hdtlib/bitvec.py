@@ -1,0 +1,118 @@
+"""Two-valued bit vector packed into one machine word.
+
+The HDTLib counterpart of ``sc_bv``: a single integer plus a width.
+Every operation is word-parallel.  Unlike
+:class:`repro.sctypes.bit_vector.ScBitVector` there is no per-bit
+storage anywhere.
+"""
+
+from __future__ import annotations
+
+from . import ops
+
+__all__ = ["BitVec2"]
+
+
+class BitVec2:
+    """Immutable word-packed two-valued vector."""
+
+    __slots__ = ("width", "value")
+
+    def __init__(self, width: int, value: int = 0) -> None:
+        if width <= 0:
+            raise ValueError("BitVec2 width must be positive")
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "value", value & ops.mask(width))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("BitVec2 is immutable")
+
+    # -- inspection ----------------------------------------------------
+
+    def to_int(self) -> int:
+        return self.value
+
+    def to_int_signed(self) -> int:
+        return ops.to_signed(self.value, self.width)
+
+    def bit(self, i: int) -> int:
+        if not 0 <= i < self.width:
+            raise IndexError(f"bit {i} out of range")
+        return (self.value >> i) & 1
+
+    def __str__(self) -> str:
+        return format(self.value, f"0{self.width}b")
+
+    def __repr__(self) -> str:
+        return f"BitVec2({self.width}, 0b{self})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BitVec2):
+            return self.width == other.width and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other & ops.mask(self.width)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.value))
+
+    def _chk(self, other: "BitVec2") -> None:
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+
+    # -- operations (all single-word) -----------------------------------
+
+    def __and__(self, other: "BitVec2") -> "BitVec2":
+        self._chk(other)
+        return BitVec2(self.width, self.value & other.value)
+
+    def __or__(self, other: "BitVec2") -> "BitVec2":
+        self._chk(other)
+        return BitVec2(self.width, self.value | other.value)
+
+    def __xor__(self, other: "BitVec2") -> "BitVec2":
+        self._chk(other)
+        return BitVec2(self.width, self.value ^ other.value)
+
+    def __invert__(self) -> "BitVec2":
+        return BitVec2(self.width, ops.not_(self.value, self.width))
+
+    def __add__(self, other: "BitVec2") -> "BitVec2":
+        self._chk(other)
+        return BitVec2(self.width, self.value + other.value)
+
+    def __sub__(self, other: "BitVec2") -> "BitVec2":
+        self._chk(other)
+        return BitVec2(self.width, self.value - other.value)
+
+    def __mul__(self, other: "BitVec2") -> "BitVec2":
+        self._chk(other)
+        return BitVec2(self.width, self.value * other.value)
+
+    def shl(self, n: int) -> "BitVec2":
+        return BitVec2(self.width, ops.shl(self.value, n, self.width))
+
+    def shr(self, n: int) -> "BitVec2":
+        return BitVec2(self.width, ops.shr(self.value, n, self.width))
+
+    def sar(self, n: int) -> "BitVec2":
+        return BitVec2(self.width, ops.sar(self.value, n, self.width))
+
+    def slice(self, hi: int, lo: int) -> "BitVec2":
+        if not (0 <= lo <= hi < self.width):
+            raise IndexError(f"slice [{hi}:{lo}] out of range")
+        return BitVec2(hi - lo + 1, ops.slice_(self.value, hi, lo))
+
+    def concat(self, other: "BitVec2") -> "BitVec2":
+        return BitVec2(
+            self.width + other.width,
+            (self.value << other.width) | other.value,
+        )
+
+    def resize(self, width: int, signed: bool = False) -> "BitVec2":
+        if width <= self.width:
+            return BitVec2(width, self.value)
+        if signed and self.value >> (self.width - 1):
+            extra = ops.mask(width - self.width) << self.width
+            return BitVec2(width, self.value | extra)
+        return BitVec2(width, self.value)

@@ -1,0 +1,50 @@
+"""Conversions between the four-valued RTL types and TLM types.
+
+The data-type abstraction step of the paper (Section 5.3) replaces
+multi-valued logic with two-valued logic, mapping ``X``/``Z`` to ``0``.
+These helpers implement that fold (``int_from_lv``, ``bitvec_from_lv``)
+as well as the lossless round-trips used in tests.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.types import LV
+
+from .bitvec import BitVec2
+from .logicvec import LogicVec4
+
+__all__ = [
+    "int_from_lv",
+    "bitvec_from_lv",
+    "logicvec_from_lv",
+    "lv_from_int",
+    "lv_from_bitvec",
+    "lv_from_logicvec",
+]
+
+
+def int_from_lv(lv: LV) -> int:
+    """Fold a four-valued RTL vector to a plain int (X/Z -> 0)."""
+    return lv.value & ~lv.unk
+
+
+def bitvec_from_lv(lv: LV) -> BitVec2:
+    """Fold to a word-packed two-valued vector (X/Z -> 0)."""
+    return BitVec2(lv.width, int_from_lv(lv))
+
+
+def logicvec_from_lv(lv: LV) -> LogicVec4:
+    """Convert preserving unknowns (Z folds to X)."""
+    return LogicVec4(lv.width, lv.value, lv.unk)
+
+
+def lv_from_int(width: int, value: int) -> LV:
+    return LV.from_int(width, value)
+
+
+def lv_from_bitvec(bv: BitVec2) -> LV:
+    return LV.from_int(bv.width, bv.value)
+
+
+def lv_from_logicvec(v: LogicVec4) -> LV:
+    return LV(v.width, v.value, v.unk)

@@ -1,0 +1,70 @@
+"""Fixed-width integer wrappers (HDTLib's signed/unsigned classes).
+
+Minimal wrappers over plain ints: the constructor masks once and all
+operators delegate to native integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from . import ops
+
+__all__ = ["UInt", "SInt"]
+
+
+class UInt:
+    """Unsigned fixed-width integer; wraps on overflow."""
+
+    __slots__ = ("width", "value")
+
+    def __init__(self, width: int, value: int = 0) -> None:
+        self.width = width
+        self.value = value & ops.mask(width)
+
+    def __add__(self, other) -> "UInt":
+        return UInt(self.width, self.value + int(other))
+
+    def __sub__(self, other) -> "UInt":
+        return UInt(self.width, self.value - int(other))
+
+    def __mul__(self, other) -> "UInt":
+        return UInt(self.width, self.value * int(other))
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, UInt):
+            return self.width == other.width and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        return self.value < int(other)
+
+    def __le__(self, other) -> bool:
+        return self.value <= int(other)
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.value))
+
+    def __repr__(self) -> str:
+        return f"UInt({self.width}, {self.value})"
+
+
+class SInt(UInt):
+    """Signed fixed-width integer (two's complement storage)."""
+
+    __slots__ = ()
+
+    def __int__(self) -> int:
+        return ops.to_signed(self.value, self.width)
+
+    def __lt__(self, other) -> bool:
+        return int(self) < int(other)
+
+    def __le__(self, other) -> bool:
+        return int(self) <= int(other)
+
+    def __repr__(self) -> str:
+        return f"SInt({self.width}, {int(self)})"

@@ -1,0 +1,194 @@
+"""Four-valued logic vector packed into two machine words.
+
+The HDTLib flagship type: two planes (``value``/``unk``) instead of a
+per-bit array, with all bitwise operators expressed as word-parallel
+Karnaugh equations over the planes.  ``Z`` is accepted on input and
+immediately normalised to ``X`` (HDTLib maps the rarely-exercised
+states away for speed; the residual accuracy loss is the one the paper
+accepts at TLM).
+"""
+
+from __future__ import annotations
+
+from . import ops
+
+__all__ = ["LogicVec4", "LogicVal"]
+
+
+class LogicVal:
+    """A single four-valued scalar backed by two plane bits."""
+
+    __slots__ = ("value", "unk")
+
+    def __init__(self, char: str = "0") -> None:
+        table = {"0": (0, 0), "1": (1, 0), "X": (0, 1), "Z": (0, 1)}
+        try:
+            self.value, self.unk = table[char.upper()]
+        except KeyError:
+            raise ValueError(f"bad logic char {char!r}") from None
+
+    @property
+    def is_known(self) -> bool:
+        return not self.unk
+
+    def __str__(self) -> str:
+        if self.unk:
+            return "X"
+        return "1" if self.value else "0"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LogicVal):
+            return (self.value, self.unk) == (other.value, other.unk)
+        if isinstance(other, int):
+            return not self.unk and self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.unk))
+
+
+class LogicVec4:
+    """Immutable two-plane four-valued vector (``Z`` folded to ``X``)."""
+
+    __slots__ = ("width", "value", "unk")
+
+    def __init__(self, width: int, value: int = 0, unk: int = 0) -> None:
+        if width <= 0:
+            raise ValueError("LogicVec4 width must be positive")
+        m = ops.mask(width)
+        unk &= m
+        object.__setattr__(self, "width", width)
+        # Normalise: unknown bits carry value 0 (Z folds into X).
+        object.__setattr__(self, "value", value & m & ~unk)
+        object.__setattr__(self, "unk", unk)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("LogicVec4 is immutable")
+
+    @staticmethod
+    def from_str(text: str) -> "LogicVec4":
+        value = 0
+        unk = 0
+        for char in text:
+            value <<= 1
+            unk <<= 1
+            c = char.upper()
+            if c == "1":
+                value |= 1
+            elif c in ("X", "Z"):
+                unk |= 1
+            elif c != "0":
+                raise ValueError(f"bad logic char {char!r}")
+        return LogicVec4(len(text), value, unk)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def is_fully_defined(self) -> bool:
+        return self.unk == 0
+
+    def to_int(self) -> int:
+        """X -> 0 folding, by design (HDTLib's accuracy/speed trade)."""
+        return self.value
+
+    def __str__(self) -> str:
+        out = []
+        for i in reversed(range(self.width)):
+            if (self.unk >> i) & 1:
+                out.append("X")
+            else:
+                out.append("1" if (self.value >> i) & 1 else "0")
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"LogicVec4('{self}')"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LogicVec4):
+            return (
+                self.width == other.width
+                and self.value == other.value
+                and self.unk == other.unk
+            )
+        if isinstance(other, int):
+            return self.unk == 0 and self.value == other & ops.mask(self.width)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.value, self.unk))
+
+    def _chk(self, other: "LogicVec4") -> None:
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+
+    # -- bitwise: Karnaugh plane equations ---------------------------------
+    #
+    # With planes (v, u), a bit is 1 iff v=1,u=0; 0 iff v=0,u=0; X iff u=1.
+    # AND:  out is 0 if either input is a hard 0; 1 if both hard 1; else X.
+    # The equations below compute the result planes in O(words).
+
+    def __and__(self, other: "LogicVec4") -> "LogicVec4":
+        self._chk(other)
+        m = ops.mask(self.width)
+        hard0 = (~self.value & ~self.unk) | (~other.value & ~other.unk)
+        one = self.value & other.value
+        unk = ~(hard0 | one) & m
+        return LogicVec4(self.width, one, unk)
+
+    def __or__(self, other: "LogicVec4") -> "LogicVec4":
+        self._chk(other)
+        m = ops.mask(self.width)
+        one = self.value | other.value
+        hard0 = (~self.value & ~self.unk) & (~other.value & ~other.unk)
+        unk = ~(one | hard0) & m
+        return LogicVec4(self.width, one, unk)
+
+    def __xor__(self, other: "LogicVec4") -> "LogicVec4":
+        self._chk(other)
+        unk = self.unk | other.unk
+        one = (self.value ^ other.value) & ~unk
+        return LogicVec4(self.width, one, unk)
+
+    def __invert__(self) -> "LogicVec4":
+        m = ops.mask(self.width)
+        return LogicVec4(self.width, ~self.value & ~self.unk & m, self.unk)
+
+    # -- arithmetic (contaminating) -----------------------------------------
+
+    def _arith(self, other: "LogicVec4", fn) -> "LogicVec4":
+        self._chk(other)
+        if self.unk | other.unk:
+            return LogicVec4(self.width, 0, ops.mask(self.width))
+        return LogicVec4(self.width, fn(self.value, other.value), 0)
+
+    def __add__(self, other: "LogicVec4") -> "LogicVec4":
+        return self._arith(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "LogicVec4") -> "LogicVec4":
+        return self._arith(other, lambda a, b: a - b)
+
+    def __mul__(self, other: "LogicVec4") -> "LogicVec4":
+        return self._arith(other, lambda a, b: a * b)
+
+    # -- shifts ----------------------------------------------------------------
+
+    def shl(self, n: int) -> "LogicVec4":
+        return LogicVec4(self.width, self.value << n, self.unk << n)
+
+    def shr(self, n: int) -> "LogicVec4":
+        return LogicVec4(self.width, self.value >> n, self.unk >> n)
+
+    # -- structure --------------------------------------------------------------
+
+    def slice(self, hi: int, lo: int) -> "LogicVec4":
+        if not (0 <= lo <= hi < self.width):
+            raise IndexError(f"slice [{hi}:{lo}] out of range")
+        w = hi - lo + 1
+        return LogicVec4(w, self.value >> lo, self.unk >> lo)
+
+    def concat(self, other: "LogicVec4") -> "LogicVec4":
+        return LogicVec4(
+            self.width + other.width,
+            (self.value << other.width) | other.value,
+            (self.unk << other.width) | other.unk,
+        )

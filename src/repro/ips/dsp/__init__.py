@@ -1,0 +1,14 @@
+"""Heart-rate detection DSP case study."""
+
+from .testbench import BEAT_PERIOD_SAMPLES, flow_stimulus, flow_wave
+from .top import DSP_FCLK_GHZ, DSP_PERIOD_PS, DSP_VDD, build_dsp
+
+__all__ = [
+    "BEAT_PERIOD_SAMPLES",
+    "flow_stimulus",
+    "flow_wave",
+    "DSP_FCLK_GHZ",
+    "DSP_PERIOD_PS",
+    "DSP_VDD",
+    "build_dsp",
+]

@@ -1,0 +1,25 @@
+"""MEMS-microphone decimation filter case study."""
+
+from .cic import CIC_DECIMATION, CIC_ORDER, CIC_WIDTH, add_cic
+from .fir import add_fir
+from .testbench import acoustic_wave, pdm_stimulus
+from .top import (
+    FILTER_FCLK_GHZ,
+    FILTER_PERIOD_PS,
+    FILTER_VDD,
+    build_filter,
+)
+
+__all__ = [
+    "CIC_DECIMATION",
+    "CIC_ORDER",
+    "CIC_WIDTH",
+    "add_cic",
+    "add_fir",
+    "acoustic_wave",
+    "pdm_stimulus",
+    "FILTER_FCLK_GHZ",
+    "FILTER_PERIOD_PS",
+    "FILTER_VDD",
+    "build_filter",
+]

@@ -1,0 +1,85 @@
+"""CIC (cascaded integrator-comb) decimator.
+
+The front end of a MEMS-microphone decimation chain: a third-order
+CIC filter converting the 1-bit PDM stream to multi-bit samples at a
+16x lower rate.  Integrators run at the input rate; a decimation
+counter strobes the comb section, whose differentiators run on the
+decimated grid.
+
+The structure intentionally mirrors what Matlab HDL Coder emits for a
+``dsp.CICDecimator``: one synchronous process per integrator stage,
+one per comb stage, and a small strobe generator.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import Assign, If, Module, Signal, const, mux
+
+__all__ = ["add_cic", "CIC_ORDER", "CIC_DECIMATION", "CIC_WIDTH"]
+
+CIC_ORDER = 3
+CIC_DECIMATION = 16
+
+#: Internal width: input 1 bit + order * log2(decimation) bit growth.
+CIC_WIDTH = 1 + CIC_ORDER * 4  # 13 bits
+
+
+def add_cic(
+    m: Module,
+    clk: Signal,
+    pdm_in: Signal,
+    *,
+    prefix: str = "cic",
+) -> "tuple[Signal, Signal]":
+    """Attach the CIC stages to ``m``.
+
+    Returns ``(sample_out, sample_valid)``: a ``CIC_WIDTH``-bit output
+    and a 1-cycle strobe at the decimated rate.
+    """
+    w = CIC_WIDTH
+    # Map the PDM bit to +1/-1 two's complement over the full width.
+    pdm_signed = m.signal(f"{prefix}_pdm_signed", w)
+    m.comb(f"{prefix}_code", [
+        Assign(
+            pdm_signed,
+            mux(pdm_in.eq(1), const(1, w), const((1 << w) - 1, w)),
+        ),
+    ])
+
+    # Integrator cascade (input rate).
+    stage_in = pdm_signed
+    integrators = []
+    for i in range(CIC_ORDER):
+        acc = m.signal(f"{prefix}_int{i}", w)
+        m.sync(f"{prefix}_int{i}_p", clk, [Assign(acc, acc + stage_in)])
+        integrators.append(acc)
+        stage_in = acc
+
+    # Decimation strobe.
+    count = m.signal(f"{prefix}_count", 4)
+    strobe = m.signal(f"{prefix}_strobe")
+    m.sync(f"{prefix}_count_p", clk, [
+        Assign(count, count + const(1, 4)),
+        If(count.eq(CIC_DECIMATION - 1), [
+            Assign(strobe, 1),
+        ], [
+            Assign(strobe, 0),
+        ]),
+    ])
+
+    # Comb cascade (decimated rate, gated by the strobe).
+    comb_in = integrators[-1]
+    for i in range(CIC_ORDER):
+        delay = m.signal(f"{prefix}_dly{i}", w)
+        diff = m.signal(f"{prefix}_comb{i}", w)
+        m.sync(f"{prefix}_comb{i}_p", clk, [
+            If(strobe.eq(1), [
+                Assign(diff, comb_in - delay),
+                Assign(delay, comb_in),
+            ]),
+        ])
+        comb_in = diff
+
+    valid = m.signal(f"{prefix}_valid")
+    m.sync(f"{prefix}_valid_p", clk, [Assign(valid, strobe)])
+    return comb_in, valid

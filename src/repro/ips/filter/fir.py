@@ -1,0 +1,76 @@
+"""Generic strobed FIR section used by the decimation chain and DSP.
+
+A direct-form FIR: a shift register advanced on the input strobe and
+a combinational multiply-accumulate tree.  Coefficients are small
+signed constants (the usual HDL-Coder fixed-point style), applied with
+full-width products and a final truncation.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import (
+    Assign,
+    If,
+    Module,
+    Signal,
+    const,
+    resize,
+    sar,
+)
+
+__all__ = ["add_fir"]
+
+
+def add_fir(
+    m: Module,
+    clk: Signal,
+    sample_in: Signal,
+    strobe_in: Signal,
+    coefficients: "list[int]",
+    *,
+    prefix: str,
+    out_width: int,
+    shift: int = 0,
+) -> "tuple[Signal, Signal]":
+    """Attach a strobed FIR to ``m``.
+
+    ``coefficients`` are signed integers applied oldest-tap-last.  The
+    accumulated sum is arithmetically shifted right by ``shift`` and
+    truncated to ``out_width``.  Returns ``(out, out_valid)``.
+    """
+    in_w = sample_in.width
+    acc_w = out_width + 8  # headroom for coefficient growth
+
+    # Tap shift register, advanced on the strobe.
+    taps: list[Signal] = []
+    previous = sample_in
+    shift_stmts = []
+    for i in range(len(coefficients)):
+        tap = m.signal(f"{prefix}_tap{i}", in_w)
+        shift_stmts.append(Assign(tap, previous))
+        taps.append(tap)
+        previous = tap
+    m.sync(f"{prefix}_taps_p", clk, [
+        If(strobe_in.eq(1), shift_stmts),
+    ])
+
+    # Multiply-accumulate tree (combinational).
+    acc = None
+    for i, (tap, coeff) in enumerate(zip(taps, coefficients)):
+        extended = resize(tap, acc_w, signed=True)
+        term = extended * const(coeff, acc_w)
+        acc = term if acc is None else acc + term
+    mac = m.signal(f"{prefix}_mac", acc_w)
+    m.comb(f"{prefix}_mac_p", [Assign(mac, acc)])
+
+    # Output register: scale and truncate on the strobe.
+    out = m.signal(f"{prefix}_out", out_width)
+    valid = m.signal(f"{prefix}_valid")
+    scaled = resize(sar(mac, shift), out_width) if shift else resize(
+        mac, out_width
+    )
+    m.sync(f"{prefix}_out_p", clk, [
+        If(strobe_in.eq(1), [Assign(out, scaled)]),
+        Assign(valid, strobe_in),
+    ])
+    return out, valid

@@ -1,0 +1,35 @@
+"""Plasma MIPS I subset CPU case study."""
+
+from .asm import AsmError, REGISTERS, assemble
+from .cpu import (
+    PLASMA_FCLK_GHZ,
+    PLASMA_PERIOD_PS,
+    PLASMA_VDD,
+    build_plasma,
+)
+from .programs import (
+    CHECKSUM_EXPECTED,
+    FIB_EXPECTED,
+    SORT_EXPECTED,
+    checksum_program,
+    fibonacci_program,
+    sort_program,
+)
+from .testbench import plasma_stimulus
+
+__all__ = [
+    "AsmError",
+    "REGISTERS",
+    "assemble",
+    "PLASMA_FCLK_GHZ",
+    "PLASMA_PERIOD_PS",
+    "PLASMA_VDD",
+    "build_plasma",
+    "CHECKSUM_EXPECTED",
+    "FIB_EXPECTED",
+    "SORT_EXPECTED",
+    "checksum_program",
+    "fibonacci_program",
+    "sort_program",
+    "plasma_stimulus",
+]

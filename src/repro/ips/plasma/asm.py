@@ -1,0 +1,189 @@
+"""A small MIPS I assembler for Plasma testbench programs.
+
+Supports the instruction subset the CPU implements, labels, numeric
+immediates (decimal / hex), register names (``$0``/``$zero`` ...
+``$ra``) and a few pseudo-instructions (``li``, ``move``, ``nop``).
+
+Deviation from MIPS I: the CPU has **no branch/load delay slots** (a
+documented simplification -- the paper's Plasma core hides its delay
+slot from software too), so the assembler emits straight-line code.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["assemble", "AsmError", "REGISTERS"]
+
+
+class AsmError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_REG_NAMES = (
+    "zero at v0 v1 a0 a1 a2 a3 "
+    "t0 t1 t2 t3 t4 t5 t6 t7 "
+    "s0 s1 s2 s3 s4 s5 s6 s7 "
+    "t8 t9 k0 k1 gp sp fp ra"
+).split()
+
+REGISTERS = {f"${name}": i for i, name in enumerate(_REG_NAMES)}
+REGISTERS.update({f"${i}": i for i in range(32)})
+
+_R_FUNCT = {
+    "sll": 0x00, "srl": 0x02, "sra": 0x03, "jr": 0x08,
+    "add": 0x20, "addu": 0x21, "sub": 0x22, "subu": 0x23,
+    "and": 0x24, "or": 0x25, "xor": 0x26, "nor": 0x27,
+    "slt": 0x2A, "sltu": 0x2B,
+}
+_I_OPCODE = {
+    "addi": 0x08, "addiu": 0x09, "slti": 0x0A, "sltiu": 0x0B,
+    "andi": 0x0C, "ori": 0x0D, "xori": 0x0E, "lui": 0x0F,
+    "lw": 0x23, "sw": 0x2B, "beq": 0x04, "bne": 0x05,
+}
+_J_OPCODE = {"j": 0x02, "jal": 0x03}
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\$\w+)\)$")
+
+
+def _reg(token: str) -> int:
+    try:
+        return REGISTERS[token.strip()]
+    except KeyError:
+        raise AsmError(f"unknown register {token!r}") from None
+
+
+def _imm(token: str, bits: int, *, signed: bool = True) -> int:
+    token = token.strip()
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise AsmError(f"bad immediate {token!r}") from None
+    low = -(1 << (bits - 1)) if signed else 0
+    high = (1 << bits) - 1
+    if not (low <= value <= high):
+        raise AsmError(f"immediate {value} out of {bits}-bit range")
+    return value & ((1 << bits) - 1)
+
+
+def _split_operands(rest: str) -> "list[str]":
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def assemble(source: str, *, base_address: int = 0) -> "list[int]":
+    """Assemble to a list of 32-bit instruction words."""
+    # Pass 1: labels.
+    labels: dict[str, int] = {}
+    statements: list[tuple[str, list[str], int]] = []
+    for raw_line in source.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            label = label.strip()
+            if not label.isidentifier():
+                raise AsmError(f"bad label {label!r}")
+            if label in labels:
+                raise AsmError(f"duplicate label {label!r}")
+            labels[label] = base_address + 4 * len(statements)
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        statements.append((mnemonic, operands, len(statements)))
+
+    # Pass 2: encode.
+    words: list[int] = []
+    for mnemonic, ops, index in statements:
+        pc = base_address + 4 * index
+        words.extend(_encode(mnemonic, ops, pc, labels))
+    return words
+
+
+def _resolve(token: str, labels: "dict[str, int]") -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AsmError(f"undefined label or bad value {token!r}") from None
+
+
+def _encode(mnemonic, ops, pc, labels) -> "list[int]":
+    if mnemonic == "nop":
+        return [0]
+    if mnemonic == "move":
+        if len(ops) != 2:
+            raise AsmError("move needs 2 operands")
+        return _encode("addu", [ops[0], ops[1], "$zero"], pc, labels)
+    if mnemonic == "li":
+        if len(ops) != 2:
+            raise AsmError("li needs 2 operands")
+        value = _resolve(ops[1], labels) & 0xFFFFFFFF
+        if value <= 0x7FFF or value >= 0xFFFF8000:
+            return _encode(
+                "addiu", [ops[0], "$zero", str(_signed32(value))], pc, labels
+            )
+        upper = (value >> 16) & 0xFFFF
+        lower = value & 0xFFFF
+        out = _encode("lui", [ops[0], str(upper)], pc, labels)
+        if lower:
+            out += _encode(
+                "ori", [ops[0], ops[0], str(lower)], pc + 4, labels
+            )
+        return out
+
+    if mnemonic in _R_FUNCT:
+        funct = _R_FUNCT[mnemonic]
+        if mnemonic in ("sll", "srl", "sra"):
+            rd, rt, sh = ops
+            return [_r(0, _reg(rt), _reg(rd), _imm(sh, 5, signed=False), funct)]
+        if mnemonic == "jr":
+            (rs,) = ops
+            return [(_reg(rs) << 21) | funct]
+        rd, rs, rt = ops
+        return [_r(_reg(rs), _reg(rt), _reg(rd), 0, funct)]
+
+    if mnemonic in _J_OPCODE:
+        (target,) = ops
+        address = _resolve(target, labels)
+        return [(_J_OPCODE[mnemonic] << 26) | ((address >> 2) & 0x3FFFFFF)]
+
+    if mnemonic in _I_OPCODE:
+        opcode = _I_OPCODE[mnemonic]
+        if mnemonic == "lui":
+            rt, imm = ops
+            return [_i(opcode, 0, _reg(rt), _imm(imm, 16, signed=False))]
+        if mnemonic in ("lw", "sw"):
+            rt, mem = ops
+            match = _MEM_RE.match(mem.replace(" ", ""))
+            if not match:
+                raise AsmError(f"bad memory operand {mem!r}")
+            offset, base = match.groups()
+            return [_i(opcode, _reg(base), _reg(rt), _imm(offset, 16))]
+        if mnemonic in ("beq", "bne"):
+            rs, rt, target = ops
+            address = _resolve(target, labels)
+            offset = (address - (pc + 4)) >> 2
+            return [_i(opcode, _reg(rs), _reg(rt), offset & 0xFFFF)]
+        rt, rs, imm = ops
+        signed = mnemonic not in ("andi", "ori", "xori")
+        return [_i(opcode, _reg(rs), _reg(rt), _imm(imm, 16, signed=signed))]
+
+    raise AsmError(f"unknown mnemonic {mnemonic!r}")
+
+
+def _r(rs, rt, rd, shamt, funct) -> int:
+    return (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+
+
+def _i(opcode, rs, rt, imm) -> int:
+    return (opcode << 26) | (rs << 21) | (rt << 16) | (imm & 0xFFFF)
+
+
+def _signed32(value: int) -> int:
+    return value - (1 << 32) if value >= (1 << 31) else value

@@ -1,0 +1,308 @@
+"""Plasma: a MIPS I subset CPU (case study 1, paper Table 1).
+
+A from-scratch implementation of the MIPS R3000A subset the Plasma
+core supports, organised the way the original VHDL is: separate
+decode, ALU, shifter, next-PC and memory-control processes around a
+register file and instruction/data memories.
+
+Microarchitecture: single-cycle fetch/execute (state registers: PC,
+trace/performance registers, MMIO registers).  Deviations from the
+real Plasma, documented for the reproduction: no branch/load delay
+slots, no multiply/divide unit, word-only memory accesses, and a
+compact 256-word Harvard memory pair -- none of which the verification
+methodology is sensitive to (it needs a control-dominated IP with a
+real ISA, which this is).
+
+Memory map (byte addresses):
+``0x000-0x3FF`` data RAM; ``0x400`` debug/result register (SW);
+``0x404`` halt trigger (SW); ``0x408`` external input port (LW).
+
+Operating point (Table 1): 1.05 V / 0.2 GHz.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import (
+    Assign,
+    ArrayWrite,
+    Case,
+    If,
+    Module,
+    array_read,
+    cat,
+    const,
+    mux,
+    sar,
+    sign_extend,
+    zero_extend,
+)
+
+__all__ = ["build_plasma", "PLASMA_PERIOD_PS", "PLASMA_VDD", "PLASMA_FCLK_GHZ"]
+
+PLASMA_PERIOD_PS = 5000  # 0.2 GHz
+PLASMA_VDD = 1.05
+PLASMA_FCLK_GHZ = 0.2
+
+IMEM_WORDS = 256
+DMEM_WORDS = 256
+
+# Opcodes / functs used by the decoder.
+_OP_RTYPE = 0x00
+_OP_J = 0x02
+_OP_JAL = 0x03
+_OP_BEQ = 0x04
+_OP_BNE = 0x05
+_OP_ADDI = 0x08
+_OP_ADDIU = 0x09
+_OP_SLTI = 0x0A
+_OP_SLTIU = 0x0B
+_OP_ANDI = 0x0C
+_OP_ORI = 0x0D
+_OP_XORI = 0x0E
+_OP_LUI = 0x0F
+_OP_LW = 0x23
+_OP_SW = 0x2B
+
+_F_SLL = 0x00
+_F_SRL = 0x02
+_F_SRA = 0x03
+_F_JR = 0x08
+_F_ADD = 0x20
+_F_ADDU = 0x21
+_F_SUB = 0x22
+_F_SUBU = 0x23
+_F_AND = 0x24
+_F_OR = 0x25
+_F_XOR = 0x26
+_F_NOR = 0x27
+_F_SLT = 0x2A
+_F_SLTU = 0x2B
+
+
+def build_plasma(program: "list[int] | None" = None) -> "tuple[Module, object]":
+    """Construct a fresh Plasma instance with ``program`` preloaded."""
+    program = list(program or [])
+    if len(program) > IMEM_WORDS:
+        raise ValueError("program does not fit in instruction memory")
+
+    m = Module("plasma_ip")
+    clk = m.input("clk")
+    ext_in = m.input("ext_in", 32)
+    debug_out_o = m.output("debug_out", 32)
+    pc_out = m.output("pc_out", 32)
+    halted_o = m.output("halted_o")
+    instret_o = m.output("instret_o", 32)
+
+    imem = m.array("imem", IMEM_WORDS, 32, init=program)
+    dmem = m.array("dmem", DMEM_WORDS, 32)
+    regfile = m.array("regfile", 32, 32)
+
+    # ---- architectural / trace state -----------------------------------
+    pc = m.signal("pc", 32)
+    halted = m.signal("halted")
+    debug_out = m.signal("debug_out_r", 32)
+    instret = m.signal("instret", 32)
+    alu_trace = m.signal("alu_trace", 32)
+    branch_count = m.signal("branch_count", 32)
+    load_count = m.signal("load_count", 32)
+
+    # ---- fetch / field extraction ----------------------------------------
+    instr = m.signal("instr", 32)
+    m.comb("p_fetch", [Assign(instr, array_read(imem, pc[9:2]))])
+
+    opcode = m.signal("opcode", 6)
+    rs = m.signal("rs", 5)
+    rt = m.signal("rt", 5)
+    rd = m.signal("rd", 5)
+    shamt = m.signal("shamt", 5)
+    funct = m.signal("funct", 6)
+    imm16 = m.signal("imm16", 16)
+    m.comb("p_fields", [
+        Assign(opcode, instr[31:26]),
+        Assign(rs, instr[25:21]),
+        Assign(rt, instr[20:16]),
+        Assign(rd, instr[15:11]),
+        Assign(shamt, instr[10:6]),
+        Assign(funct, instr[5:0]),
+        Assign(imm16, instr[15:0]),
+    ])
+
+    # ---- register file read (with $0 hard-wired to zero) ------------------
+    rs_val = m.signal("rs_val", 32)
+    rt_val = m.signal("rt_val", 32)
+    m.comb("p_regread", [
+        Assign(rs_val, mux(rs.eq(0), const(0, 32), array_read(regfile, rs))),
+        Assign(rt_val, mux(rt.eq(0), const(0, 32), array_read(regfile, rt))),
+    ])
+
+    imm_se = m.signal("imm_se", 32)
+    imm_ze = m.signal("imm_ze", 32)
+    m.comb("p_imm", [
+        Assign(imm_se, sign_extend(imm16, 32)),
+        Assign(imm_ze, zero_extend(imm16, 32)),
+    ])
+
+    # ---- control decode -----------------------------------------------------
+    reg_write = m.signal("reg_write")
+    dest = m.signal("dest", 5)
+    mem_read = m.signal("mem_read")
+    mem_write = m.signal("mem_write")
+    is_branch = m.signal("is_branch")
+    is_jump = m.signal("is_jump")
+    is_jr = m.signal("is_jr")
+    is_link = m.signal("is_link")
+    m.comb("p_control", [
+        Assign(reg_write, 0),
+        Assign(dest, rt),
+        Assign(mem_read, 0),
+        Assign(mem_write, 0),
+        Assign(is_branch, 0),
+        Assign(is_jump, 0),
+        Assign(is_jr, 0),
+        Assign(is_link, 0),
+        Case(opcode, [
+            (_OP_RTYPE, [
+                If(funct.eq(_F_JR), [Assign(is_jr, 1)], [
+                    Assign(reg_write, 1),
+                    Assign(dest, rd),
+                ]),
+            ]),
+            (_OP_J, [Assign(is_jump, 1)]),
+            (_OP_JAL, [
+                Assign(is_jump, 1),
+                Assign(is_link, 1),
+                Assign(reg_write, 1),
+                Assign(dest, const(31, 5)),
+            ]),
+            (_OP_BEQ, [Assign(is_branch, 1)]),
+            (_OP_BNE, [Assign(is_branch, 1)]),
+            (_OP_LW, [
+                Assign(mem_read, 1),
+                Assign(reg_write, 1),
+            ]),
+            (_OP_SW, [Assign(mem_write, 1)]),
+        ], default=[
+            # Remaining I-type ALU ops write rt.
+            Assign(reg_write, 1),
+        ]),
+    ])
+
+    # ---- ALU ---------------------------------------------------------------
+    alu_out = m.signal("alu_out", 32)
+    slt_u = zero_extend(rs_val.lt(rt_val), 32)
+    slt_s = zero_extend(rs_val.lt_s(rt_val), 32)
+    m.comb("p_alu", [
+        Assign(alu_out, 0),
+        Case(opcode, [
+            (_OP_RTYPE, [
+                Case(funct, [
+                    (_F_SLL, [Assign(alu_out, rt_val << shamt)]),
+                    (_F_SRL, [Assign(alu_out, rt_val >> shamt)]),
+                    (_F_SRA, [Assign(alu_out, sar(rt_val, shamt))]),
+                    (_F_ADD, [Assign(alu_out, rs_val + rt_val)]),
+                    (_F_ADDU, [Assign(alu_out, rs_val + rt_val)]),
+                    (_F_SUB, [Assign(alu_out, rs_val - rt_val)]),
+                    (_F_SUBU, [Assign(alu_out, rs_val - rt_val)]),
+                    (_F_AND, [Assign(alu_out, rs_val & rt_val)]),
+                    (_F_OR, [Assign(alu_out, rs_val | rt_val)]),
+                    (_F_XOR, [Assign(alu_out, rs_val ^ rt_val)]),
+                    (_F_NOR, [Assign(alu_out, ~(rs_val | rt_val))]),
+                    (_F_SLT, [Assign(alu_out, slt_s)]),
+                    (_F_SLTU, [Assign(alu_out, slt_u)]),
+                ]),
+            ]),
+            (_OP_ADDI, [Assign(alu_out, rs_val + imm_se)]),
+            (_OP_ADDIU, [Assign(alu_out, rs_val + imm_se)]),
+            (_OP_SLTI, [Assign(alu_out, zero_extend(rs_val.lt_s(imm_se), 32))]),
+            (_OP_SLTIU, [Assign(alu_out, zero_extend(rs_val.lt(imm_se), 32))]),
+            (_OP_ANDI, [Assign(alu_out, rs_val & imm_ze)]),
+            (_OP_ORI, [Assign(alu_out, rs_val | imm_ze)]),
+            (_OP_XORI, [Assign(alu_out, rs_val ^ imm_ze)]),
+            (_OP_LUI, [Assign(alu_out, cat(imm16, const(0, 16)))]),
+            (_OP_LW, [Assign(alu_out, rs_val + imm_se)]),
+            (_OP_SW, [Assign(alu_out, rs_val + imm_se)]),
+        ]),
+    ])
+
+    # ---- next PC -------------------------------------------------------------
+    pc4 = m.signal("pc4", 32)
+    branch_taken = m.signal("branch_taken")
+    next_pc = m.signal("next_pc", 32)
+    branch_offset = cat(imm_se[29:0], const(0, 2))
+    jump_target = cat(pc4[31:28], instr[25:0], const(0, 2))
+    m.comb("p_pc4", [Assign(pc4, pc + const(4, 32))])
+    m.comb("p_branch", [
+        Assign(
+            branch_taken,
+            (opcode.eq(_OP_BEQ) & rs_val.eq(rt_val))
+            | (opcode.eq(_OP_BNE) & rs_val.ne(rt_val)),
+        ),
+    ])
+    m.comb("p_nextpc", [
+        Assign(
+            next_pc,
+            mux(is_jump, jump_target,
+                mux(is_jr, rs_val,
+                    mux(is_branch & branch_taken,
+                        pc4 + branch_offset, pc4))),
+        ),
+    ])
+
+    # ---- data memory / MMIO ----------------------------------------------------
+    mem_addr = alu_out
+    is_mmio = m.signal("is_mmio")
+    load_val = m.signal("load_val", 32)
+    m.comb("p_mmio", [Assign(is_mmio, mem_addr[10])])
+    m.comb("p_load", [
+        Assign(
+            load_val,
+            mux(is_mmio, ext_in, array_read(dmem, mem_addr[9:2])),
+        ),
+    ])
+
+    # ---- writeback value ----------------------------------------------------------
+    wb_val = m.signal("wb_val", 32)
+    m.comb("p_wb", [
+        Assign(
+            wb_val,
+            mux(is_link, pc4, mux(mem_read, load_val, alu_out)),
+        ),
+    ])
+
+    # ---- synchronous state update ----------------------------------------------------
+    m.sync("p_state", clk, [
+        If(halted.eq(0), [
+            Assign(pc, next_pc),
+            Assign(instret, instret + const(1, 32)),
+            Assign(alu_trace, alu_out),
+            If(is_branch & branch_taken, [
+                Assign(branch_count, branch_count + const(1, 32)),
+            ]),
+            If(mem_read.eq(1), [
+                Assign(load_count, load_count + const(1, 32)),
+            ]),
+            If(mem_write & is_mmio, [
+                If(mem_addr[4:2].eq(0), [Assign(debug_out, rt_val)]),
+                If(mem_addr[4:2].eq(1), [Assign(halted, 1)]),
+            ]),
+        ]),
+    ])
+    m.sync("p_regfile", clk, [
+        If(halted.eq(0) & reg_write & dest.ne(0), [
+            ArrayWrite(regfile, dest, wb_val),
+        ]),
+    ])
+    m.sync("p_dmem", clk, [
+        If(halted.eq(0) & mem_write & is_mmio.eq(0), [
+            ArrayWrite(dmem, mem_addr[9:2], rt_val),
+        ]),
+    ])
+
+    # ---- outputs ------------------------------------------------------------------------
+    m.comb("p_out", [
+        Assign(debug_out_o, debug_out),
+        Assign(pc_out, pc),
+        Assign(halted_o, halted),
+        Assign(instret_o, instret),
+    ])
+    return m, clk

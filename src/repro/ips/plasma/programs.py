@@ -1,0 +1,155 @@
+"""Testbench programs for the Plasma core.
+
+Three small but real MIPS programs, each ending with a store of its
+result to the debug register (``0x400``) and a halt (``0x404``).  The
+Fibonacci program is the default verification workload: it loops,
+branches, loads and stores, keeping the control and datapath processes
+-- and therefore the monitored critical paths -- busy every cycle.
+"""
+
+from __future__ import annotations
+
+from .asm import assemble
+
+__all__ = [
+    "fibonacci_program",
+    "checksum_program",
+    "sort_program",
+    "FIB_EXPECTED",
+    "CHECKSUM_EXPECTED",
+    "SORT_EXPECTED",
+]
+
+DEBUG_ADDR = 0x400
+HALT_ADDR = 0x404
+EXTIN_ADDR = 0x408
+
+
+def fibonacci_program(n: int = 12) -> "list[int]":
+    """Iterative Fibonacci; leaves fib(n) in the debug register and
+    streams every intermediate value through it on the way."""
+    return assemble(f"""
+        li   $t0, 0          # fib(i)
+        li   $t1, 1          # fib(i+1)
+        li   $t2, {n}        # remaining iterations
+        li   $t3, {DEBUG_ADDR}
+    loop:
+        beq  $t2, $zero, done
+        addu $t4, $t0, $t1
+        move $t0, $t1
+        move $t1, $t4
+        sw   $t0, 0($t3)     # publish the running value
+        addiu $t2, $t2, -1
+        j    loop
+    done:
+        sw   $t0, 0($t3)
+        sw   $zero, 4($t3)   # halt
+    hang:
+        j    hang
+    """)
+
+
+def _fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+FIB_EXPECTED = _fib(12)
+
+
+def checksum_program() -> "list[int]":
+    """Writes a small table to RAM, then reads it back accumulating a
+    rotate-xor checksum (exercises LW/SW and logical ops)."""
+    return assemble(f"""
+        li   $t0, 0          # address
+        li   $t1, 17         # value seed
+        li   $t2, 8          # table length
+    fill:
+        beq  $t2, $zero, summ
+        sw   $t1, 0($t0)
+        addiu $t0, $t0, 4
+        addiu $t1, $t1, 29
+        addiu $t2, $t2, -1
+        j    fill
+    summ:
+        li   $t0, 0
+        li   $t2, 8
+        li   $t5, 0          # checksum
+    acc:
+        beq  $t2, $zero, done
+        lw   $t3, 0($t0)
+        sll  $t4, $t5, 1
+        srl  $t5, $t5, 31
+        or   $t5, $t4, $t5   # rotate left 1
+        xor  $t5, $t5, $t3
+        addiu $t0, $t0, 4
+        addiu $t2, $t2, -1
+        j    acc
+    done:
+        li   $t6, {DEBUG_ADDR}
+        sw   $t5, 0($t6)
+        sw   $zero, 4($t6)   # halt
+    hang:
+        j    hang
+    """)
+
+
+def _checksum_expected() -> int:
+    table = []
+    value = 17
+    for _ in range(8):
+        table.append(value & 0xFFFFFFFF)
+        value += 29
+    acc = 0
+    for word in table:
+        acc = (((acc << 1) & 0xFFFFFFFF) | (acc >> 31)) ^ word
+    return acc & 0xFFFFFFFF
+
+
+CHECKSUM_EXPECTED = _checksum_expected()
+
+
+def sort_program() -> "list[int]":
+    """Bubble-sorts a 6-element array in RAM and publishes the median
+    element (exercises nested loops and signed comparison)."""
+    values = [9, 3, 17, 1, 12, 5]
+    stores = "\n".join(
+        f"        li $t1, {value}\n        sw $t1, {4 * i}($zero)"
+        for i, value in enumerate(values)
+    )
+    n = len(values)
+    return assemble(f"""
+{stores}
+        li   $s0, {n - 1}    # outer remaining
+    outer:
+        beq  $s0, $zero, publish
+        li   $t0, 0          # byte index
+        move $s1, $s0
+    inner:
+        beq  $s1, $zero, outer_dec
+        lw   $t2, 0($t0)
+        lw   $t3, 4($t0)
+        slt  $t4, $t3, $t2
+        beq  $t4, $zero, no_swap
+        sw   $t3, 0($t0)
+        sw   $t2, 4($t0)
+    no_swap:
+        addiu $t0, $t0, 4
+        addiu $s1, $s1, -1
+        j    inner
+    outer_dec:
+        addiu $s0, $s0, -1
+        j    outer
+    publish:
+        lw   $t5, {4 * (n // 2)}($zero)
+        li   $t6, {DEBUG_ADDR}
+        sw   $t5, 0($t6)
+        sw   $zero, 4($t6)
+    hang:
+        j    hang
+    """)
+
+
+SORT_EXPECTED = sorted([9, 3, 17, 1, 12, 5])[3]

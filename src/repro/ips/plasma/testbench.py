@@ -1,0 +1,18 @@
+"""Testbench stimulus for the Plasma core.
+
+The CPU's activity is driven by its program, not by its pins: the
+Fibonacci workload keeps the PC, ALU and memory paths toggling every
+cycle.  The external input port still gets a pseudo-random pattern so
+LW-from-MMIO paths are exercised when a program uses them.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["plasma_stimulus"]
+
+
+def plasma_stimulus(n: int, *, seed: int = 5) -> "list[dict[str, int]]":
+    rng = random.Random(seed)
+    return [{"ext_in": rng.randrange(1 << 32)} for _ in range(n)]

@@ -1,0 +1,29 @@
+"""Delay mutants: ADAM injection, TLM campaign, RTL cross-validation."""
+
+from .adam import delta_tick_plan, inject_mutants
+from .analysis import (
+    SENSOR_PORTS,
+    MutantOutcome,
+    MutationReport,
+    run_mutation_analysis,
+)
+from .rtl_validation import (
+    RtlMutantOutcome,
+    RtlValidationReport,
+    validate_at_rtl,
+)
+from .saboteurs import Saboteur, insert_saboteur
+
+__all__ = [
+    "Saboteur",
+    "insert_saboteur",
+    "delta_tick_plan",
+    "inject_mutants",
+    "SENSOR_PORTS",
+    "MutantOutcome",
+    "MutationReport",
+    "run_mutation_analysis",
+    "RtlMutantOutcome",
+    "RtlValidationReport",
+    "validate_at_rtl",
+]

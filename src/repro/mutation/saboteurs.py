@@ -1,0 +1,147 @@
+"""Saboteur-style RTL fault injection (the Section 2.2 alternative).
+
+The paper contrasts its mutant-based approach with the two classic RTL
+fault-injection techniques: simulator commands (our kernel's ``force``)
+and **saboteurs** -- components inserted in series with a signal that
+corrupt it when activated through a dedicated control input (MEFISTO
+style).  This module implements serial saboteurs for the RTL kernel so
+the trade-off the paper argues (saboteurs need extra control wiring and
+structural edits; mutants live at scheduler synchronisation points) can
+be measured rather than asserted.
+
+A saboteur on signal ``s`` splits it into driver -> ``s__sab`` ->
+consumers and, while its control is asserted, replaces the forwarded
+value according to its mode:
+
+* ``"delay"``     -- forwards the *previous* cycle's value (one-cycle
+  transport corruption, the timing-fault analogue);
+* ``"stuck_x"``   -- forwards all-``X``;
+* ``"invert"``    -- forwards the bitwise complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rtl.eval import EvalEnv, exec_stmts
+from repro.rtl.ir import (
+    Assign,
+    CombProcess,
+    Module,
+    NativeProcess,
+    Signal,
+    SliceAssign,
+    Stmt,
+    SyncProcess,
+)
+from repro.rtl.types import LV
+
+__all__ = ["Saboteur", "insert_saboteur"]
+
+_MODES = ("delay", "stuck_x", "invert")
+
+
+@dataclass(frozen=True)
+class Saboteur:
+    """Handle to one inserted saboteur."""
+
+    original: Signal      # the (renamed) driver-side signal
+    forwarded: Signal     # the consumer-side signal (keeps the old name)
+    control: Signal       # 1-bit activation input port
+    mode: str
+
+
+def _retarget_stmts(stmts: "list[Stmt]", old: Signal, new: Signal) -> None:
+    """Rewrite assignment targets ``old`` -> ``new`` in place."""
+    for stmt in stmts:
+        if isinstance(stmt, (Assign, SliceAssign)) and stmt.target is old:
+            stmt.target = new
+        elif hasattr(stmt, "then"):
+            _retarget_stmts(stmt.then, old, new)
+            _retarget_stmts(stmt.orelse, old, new)
+        elif hasattr(stmt, "cases"):
+            for _, body in stmt.cases:
+                _retarget_stmts(body, old, new)
+            _retarget_stmts(stmt.default, old, new)
+
+
+def insert_saboteur(
+    module: Module,
+    target: Signal,
+    *,
+    mode: str = "delay",
+    control_name: "str | None" = None,
+) -> Saboteur:
+    """Insert a serial saboteur on ``target`` (in place).
+
+    The original drivers are re-pointed at a new ``<name>__sab_in``
+    signal; ``target`` itself becomes the saboteur's output so all
+    consumers transparently read the (possibly corrupted) forwarded
+    value.  A new 1-bit input port controls activation.
+    """
+    if mode not in _MODES:
+        raise ValueError(f"unknown saboteur mode {mode!r}; have {_MODES}")
+
+    driver_side = Signal(f"{target.name}__sab_in", target.width)
+    found_driver = False
+
+    def visit(mod: Module) -> None:
+        nonlocal found_driver
+        for proc in mod.processes:
+            if isinstance(proc, (SyncProcess, CombProcess)):
+                from repro.rtl.ir import written_signals
+
+                if target in written_signals(proc.stmts):
+                    _retarget_stmts(proc.stmts, target, driver_side)
+                    found_driver = True
+                if isinstance(proc, SyncProcess) and proc.reset_stmts:
+                    if target in written_signals(proc.reset_stmts):
+                        _retarget_stmts(proc.reset_stmts, target, driver_side)
+                        found_driver = True
+        for _, child in mod.submodules:
+            visit(child)
+
+    visit(module)
+    if not found_driver:
+        raise ValueError(
+            f"signal {target.name!r} has no IR driver to sabotage"
+        )
+    module.adopt(driver_side)
+    control = module.input(
+        control_name or f"{target.name}__sab_en"
+    )
+
+    state: dict = {}
+
+    def saboteur_fn(ctx) -> None:
+        incoming = ctx.read(driver_side)
+        active = ctx.read(control)
+        engaged = not active.unk and active.value == 1
+        if not engaged:
+            forwarded = incoming
+        elif mode == "stuck_x":
+            forwarded = LV.all_x(target.width)
+        elif mode == "invert":
+            forwarded = ~incoming
+        else:  # delay: previous value
+            forwarded = ctx.state.get("prev", incoming)
+        ctx.write(target, forwarded)
+        ctx.state["prev"] = incoming
+
+    module.native(
+        NativeProcess(
+            f"{target.name}__saboteur",
+            "comb",
+            saboteur_fn,
+            sensitivity=[driver_side, control],
+            reads=[driver_side, control],
+            writes=[target],
+            meta={"saboteur": mode},
+        )
+    )
+    return Saboteur(
+        original=driver_side,
+        forwarded=target,
+        control=control,
+        mode=mode,
+    )

@@ -1,0 +1,57 @@
+"""Table formatting shared by the benchmark harness and examples.
+
+Produces aligned ASCII tables in the layout of the paper's Tables 1-5
+so benchmark output can be compared against the publication row by
+row.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n.a."
+        if abs(value) >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.2f}"
+    if value is None:
+        return "n.a."
+    return str(value)
+
+
+def format_table(
+    headers: "list[str]",
+    rows: "list[list]",
+    *,
+    title: "str | None" = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: "list[tuple[str, object]]", *, indent: int = 2) -> str:
+    """Aligned key/value block for summaries."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k, _ in pairs)
+    pad = " " * indent
+    return "\n".join(
+        f"{pad}{k.ljust(width)} : {_cell(v)}" for k, v in pairs
+    )

@@ -1,0 +1,193 @@
+"""Four-valued interpretation of IR expressions and statements.
+
+This is the accuracy-first evaluator used by the RTL kernel: every
+operation goes through :class:`repro.rtl.types.LV`, preserving ``X``/``Z``
+propagation exactly as an HDL simulator would.  The TLM code generator
+(:mod:`repro.abstraction.codegen`) emits the same semantics over plain
+integers instead.
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    Binop,
+    Case,
+    Concat,
+    Const,
+    Expr,
+    If,
+    Mux,
+    Signal,
+    Slice,
+    SliceAssign,
+    Stmt,
+    Unop,
+)
+from .types import LV
+
+__all__ = ["eval_expr", "exec_stmts", "EvalEnv"]
+
+
+class EvalEnv:
+    """Value store an evaluator reads from / writes to.
+
+    ``read(sig)`` must return the *current* value of a signal;
+    ``read_array(arr)`` the current list of words.  Writes performed by
+    :func:`exec_stmts` are collected into ``sig_writes`` /
+    ``array_writes`` and committed by the caller (non-blocking
+    assignment semantics: within one activation, later assignments to
+    the same signal overwrite earlier ones, and reads never observe
+    in-process writes).
+    """
+
+    __slots__ = ("read", "read_array", "sig_writes", "array_writes")
+
+    def __init__(self, read, read_array) -> None:
+        self.read = read
+        self.read_array = read_array
+        self.sig_writes: dict[Signal, LV] = {}
+        self.array_writes: list[tuple] = []
+
+    def current(self, sig: Signal) -> LV:
+        """Signal value as seen inside the process (pre-write)."""
+        return self.read(sig)
+
+
+def eval_expr(expr: Expr, env: EvalEnv) -> LV:
+    """Evaluate an expression to a four-valued vector."""
+    if isinstance(expr, Signal):
+        return env.read(expr)
+    if isinstance(expr, Const):
+        return LV.from_int(expr.width, expr.value)
+    if isinstance(expr, Slice):
+        return eval_expr(expr.a, env).slice(expr.hi, expr.lo)
+    if isinstance(expr, Concat):
+        first = eval_expr(expr.parts[0], env)
+        rest = [eval_expr(p, env) for p in expr.parts[1:]]
+        return first.concat(*rest)
+    if isinstance(expr, Unop):
+        return _eval_unop(expr, env)
+    if isinstance(expr, Binop):
+        return _eval_binop(expr, env)
+    if isinstance(expr, Mux):
+        sel = eval_expr(expr.sel, env)
+        if sel.unk:
+            return LV.all_x(expr.width)
+        chosen = expr.a if sel.value else expr.b
+        return eval_expr(chosen, env)
+    if isinstance(expr, ArrayRead):
+        index = eval_expr(expr.index, env)
+        words = env.read_array(expr.array)
+        if index.unk:
+            return LV.all_x(expr.width)
+        if index.value >= expr.array.depth:
+            return LV.all_x(expr.width)
+        return words[index.value]
+    raise TypeError(f"cannot evaluate expression {expr!r}")
+
+
+def _eval_unop(expr: Unop, env: EvalEnv) -> LV:
+    a = eval_expr(expr.a, env)
+    op = expr.op
+    if op == "not":
+        return ~a
+    if op == "neg":
+        return a.neg()
+    if op == "red_and":
+        return a.reduce_and()
+    if op == "red_or":
+        return a.reduce_or()
+    if op == "red_xor":
+        return a.reduce_xor()
+    if op == "bool_not":
+        return ~a
+    raise AssertionError(op)
+
+
+def _eval_binop(expr: Binop, env: EvalEnv) -> LV:
+    a = eval_expr(expr.a, env)
+    b = eval_expr(expr.b, env)
+    op = expr.op
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "shl":
+        return a.shl(b)
+    if op == "shr":
+        return a.shr(b)
+    if op == "sar":
+        return a.sar(b)
+    if op == "eq":
+        return a.eq(b)
+    if op == "ne":
+        return a.ne(b)
+    if op == "lt":
+        return a.lt(b)
+    if op == "le":
+        return a.le(b)
+    if op == "gt":
+        return a.gt(b)
+    if op == "ge":
+        return a.ge(b)
+    if op == "lt_s":
+        return a.lt(b, signed=True)
+    if op == "le_s":
+        return a.le(b, signed=True)
+    if op == "gt_s":
+        return a.gt(b, signed=True)
+    if op == "ge_s":
+        return a.ge(b, signed=True)
+    raise AssertionError(op)
+
+
+def exec_stmts(stmts: "list[Stmt]", env: EvalEnv) -> None:
+    """Execute a statement list, collecting writes into ``env``.
+
+    Conditions evaluating to ``X`` conservatively take no branch (a
+    real simulator would warn; registers keep their value, which is
+    the standard contamination-free interpretation for ``if``).
+    """
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            env.sig_writes[stmt.target] = eval_expr(stmt.expr, env)
+        elif isinstance(stmt, SliceAssign):
+            base = env.sig_writes.get(stmt.target)
+            if base is None:
+                base = env.read(stmt.target)
+            part = eval_expr(stmt.expr, env)
+            env.sig_writes[stmt.target] = base.replaced_slice(
+                stmt.hi, stmt.lo, part
+            )
+        elif isinstance(stmt, ArrayWrite):
+            index = eval_expr(stmt.index, env)
+            value = eval_expr(stmt.value, env)
+            env.array_writes.append((stmt.array, index, value))
+        elif isinstance(stmt, If):
+            cond = eval_expr(stmt.cond, env)
+            if cond.unk:
+                continue
+            exec_stmts(stmt.then if cond.value else stmt.orelse, env)
+        elif isinstance(stmt, Case):
+            sel = eval_expr(stmt.sel, env)
+            if sel.unk:
+                continue
+            for label, body in stmt.cases:
+                if label == sel.value:
+                    exec_stmts(body, env)
+                    break
+            else:
+                exec_stmts(stmt.default, env)
+        else:
+            raise TypeError(f"cannot execute statement {stmt!r}")

@@ -1,0 +1,478 @@
+"""Event-driven RTL simulation kernel with delta cycles.
+
+The kernel reproduces the HDL scheduler of the paper's Fig. 6.a:
+
+1. at a clock edge, all synchronous processes sensitive to that edge
+   run, reading pre-edge values; their writes are non-blocking;
+2. committed writes that change a signal wake the combinational
+   processes sensitive to it -- a *delta cycle*;
+3. delta cycles repeat until no further event, then simulated time
+   advances to the next scheduled event.
+
+Time is in integer picoseconds.  Signals may carry a *transport
+delay*: a write commits ``nominal_delay + injected_delay`` ps after
+the process that produced it.  This models back-annotated path delays
+(from STA) and RTL fault injection via delayed assignments (VHDL
+``after``), which Section 8.5 of the paper uses to cross-validate the
+TLM mutation results.
+
+Any number of clocks is supported; the Counter-based sensor adds a
+high-frequency clock whose period divides the main period.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .eval import EvalEnv, exec_stmts
+from .ir import (
+    Array,
+    CombProcess,
+    Module,
+    NativeProcess,
+    Process,
+    Signal,
+    SyncProcess,
+    process_reads,
+)
+from .types import LV
+
+__all__ = ["Simulation", "SimulationError", "DeltaOverflowError", "NativeCtx"]
+
+#: Safety bound on delta cycles within one time point.
+MAX_DELTA_CYCLES = 1000
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel-level failures (oscillation, bad configuration)."""
+
+
+class DeltaOverflowError(SimulationError):
+    """Raised when a combinational loop never settles."""
+
+
+class NativeCtx:
+    """Execution context handed to :class:`NativeProcess` callables."""
+
+    __slots__ = ("_sim", "state", "now")
+
+    def __init__(self, sim: "Simulation", state: dict, now: int) -> None:
+        self._sim = sim
+        self.state = state
+        self.now = now
+
+    def read(self, sig: Signal) -> LV:
+        """Current value of a signal (pre-commit view)."""
+        return self._sim._values[sig]
+
+    def write(self, sig: Signal, value: "LV | int") -> None:
+        """Non-blocking write, committed with the surrounding delta."""
+        if isinstance(value, int):
+            value = LV.from_int(sig.width, value)
+        self._sim._pending_native[sig] = value
+
+
+class _Clock:
+    """Book-keeping for one clock: value, period and next toggle time."""
+
+    __slots__ = ("signal", "period", "half", "next_toggle", "value")
+
+    def __init__(self, signal: Signal, period: int, first_rise: int) -> None:
+        if period % 2:
+            raise SimulationError(f"clock period must be even, got {period}")
+        self.signal = signal
+        self.period = period
+        self.half = period // 2
+        self.next_toggle = first_rise
+        self.value = 0
+
+
+class Simulation:
+    """Event-driven simulator for an elaborated :class:`Module` tree.
+
+    Parameters
+    ----------
+    top:
+        The design to simulate (children are discovered automatically).
+    clocks:
+        Mapping of clock signals to periods in ps.  The first entry is
+        the *main* clock that defines :meth:`cycle` boundaries.
+    """
+
+    def __init__(
+        self,
+        top: Module,
+        clocks: "dict[Signal, int]",
+        *,
+        init_unknown: bool = False,
+        input_launch_at_edge: bool = False,
+    ) -> None:
+        if not clocks:
+            raise SimulationError("at least one clock is required")
+        self.top = top
+        self.time = 0
+        self._seq = 0
+        #: When True, ``cycle()`` inputs take effect 1 ps after the next
+        #: rising edge -- modelling inputs driven by upstream registers,
+        #: which is required for designs carrying back-annotated path
+        #: delays (an input changing just before the edge could never
+        #: traverse a near-critical path in time, so testbench pokes
+        #: must be launch-edge aligned there).
+        self.input_launch_at_edge = input_launch_at_edge
+
+        clock_items = list(clocks.items())
+        self.main_clock = clock_items[0][0]
+        self.main_period = clock_items[0][1]
+        self._clocks: dict[Signal, _Clock] = {}
+        for sig, period in clock_items:
+            sig.is_clock = True
+            # First rising edge lands one full period after t=0 so the
+            # testbench can poke inputs at t=0 before any edge.
+            self._clocks[sig] = _Clock(sig, period, first_rise=period)
+
+        # -- value stores ------------------------------------------------
+        self._values: dict[Signal, LV] = {}
+        self._arrays: dict[Array, list[LV]] = {}
+        for sig in top.all_signals():
+            if init_unknown and sig.direction != "in" and not sig.is_clock:
+                self._values[sig] = LV.all_x(sig.width)
+            else:
+                self._values[sig] = sig.init_lv
+        for clk in self._clocks.values():
+            self._values[clk.signal] = LV.from_int(1, 0)
+        for arr in top.all_arrays():
+            self._arrays[arr] = [LV.from_int(arr.width, w) for w in arr.init]
+
+        # -- process maps -------------------------------------------------
+        self._sync_map: dict[tuple[int, str], list[Process]] = {}
+        self._sens_map: dict[Signal, list[Process]] = {}
+        self._native_state: dict[int, dict] = {}
+        self._comb_procs: list[Process] = []
+        for _, proc in top.all_processes():
+            self._register_process(proc)
+
+        # -- scheduling --------------------------------------------------
+        self._pending_nba: dict[Signal, LV] = {}
+        self._pending_native: dict[Signal, LV] = {}
+        self._pending_arrays: list[tuple] = []
+        self._delayed: list[tuple[int, int, Signal, LV]] = []
+        self._nominal_delay: dict[Signal, int] = {}
+        self._injected_delay: dict[Signal, int] = {}
+
+        # -- instrumentation -----------------------------------------------
+        self.stats = {
+            "process_activations": 0,
+            "delta_cycles": 0,
+            "events": 0,
+            "cycles": 0,
+        }
+        self._watchers: list = []
+
+        # VHDL semantics: every process executes once at time zero
+        # (combinational processes with constant drivers would otherwise
+        # never run -- they have empty sensitivity lists).
+        for proc in self._comb_procs:
+            self._run_process(proc, set())
+        initial_changes = self._commit_pending()
+        self._settle_deltas(
+            set(self._values) | set(self._arrays) | initial_changes
+        )
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _register_process(self, proc: Process) -> None:
+        if isinstance(proc, SyncProcess):
+            key = (id(proc.clock), proc.edge)
+            self._sync_map.setdefault(key, []).append(proc)
+            if proc.reset is not None:
+                # Asynchronous reset: also sensitive to the reset signal.
+                self._sens_map.setdefault(proc.reset, []).append(proc)
+        elif isinstance(proc, CombProcess):
+            sens = proc.sensitivity or sorted(
+                process_reads(proc), key=lambda s: s.name
+            )
+            for sig in sens:
+                self._sens_map.setdefault(sig, []).append(proc)
+            # Array reads make the process sensitive to array writes
+            # (HDL array-typed signals generate events on update).
+            from .ir import stmt_read_arrays
+
+            for arr in stmt_read_arrays(proc.stmts):
+                self._sens_map.setdefault(arr, []).append(proc)
+            self._comb_procs.append(proc)
+        elif isinstance(proc, NativeProcess):
+            self._native_state[id(proc)] = {}
+            if proc.kind == "sync":
+                key = (id(proc.clock), proc.edge)
+                self._sync_map.setdefault(key, []).append(proc)
+            else:
+                for sig in proc.sensitivity:
+                    self._sens_map.setdefault(sig, []).append(proc)
+                self._comb_procs.append(proc)
+        else:
+            raise TypeError(f"unknown process type {type(proc)!r}")
+
+    # ------------------------------------------------------------------
+    # Delay configuration (STA back-annotation and fault injection)
+    # ------------------------------------------------------------------
+
+    def set_transport_delay(self, sig: Signal, delay_ps: int) -> None:
+        """Back-annotate a nominal propagation delay on a signal's driver."""
+        if delay_ps < 0:
+            raise SimulationError("delay must be non-negative")
+        self._nominal_delay[sig] = delay_ps
+
+    def inject_extra_delay(self, sig: Signal, delay_ps: int) -> None:
+        """Add fault-injection delay on top of the nominal delay
+        (the RTL equivalent of a delay mutant)."""
+        if delay_ps < 0:
+            raise SimulationError("delay must be non-negative")
+        self._injected_delay[sig] = delay_ps
+
+    def clear_injection(self, sig: "Signal | None" = None) -> None:
+        """Remove one or all injected delays."""
+        if sig is None:
+            self._injected_delay.clear()
+        else:
+            self._injected_delay.pop(sig, None)
+
+    def _total_delay(self, sig: Signal) -> int:
+        return self._nominal_delay.get(sig, 0) + self._injected_delay.get(sig, 0)
+
+    # ------------------------------------------------------------------
+    # Value access
+    # ------------------------------------------------------------------
+
+    def peek(self, sig: Signal) -> LV:
+        """Current value of a signal."""
+        return self._values[sig]
+
+    def peek_int(self, sig: Signal, default: int = 0) -> int:
+        """Current value as an int with unknowns folded to ``default``."""
+        return self._values[sig].to_int_or(default)
+
+    def peek_array(self, arr: Array) -> "list[LV]":
+        return list(self._arrays[arr])
+
+    def poke(self, sig: Signal, value: "LV | int") -> None:
+        """Drive a primary input immediately and settle delta cycles."""
+        if sig.direction != "in":
+            raise SimulationError(
+                f"poke is only allowed on input ports, not {sig.name!r}"
+            )
+        if isinstance(value, int):
+            value = LV.from_int(sig.width, value)
+        if value.width != sig.width:
+            raise SimulationError(
+                f"poke width mismatch on {sig.name}: {value.width} != {sig.width}"
+            )
+        if self._values[sig] != value:
+            self._values[sig] = value
+            self._settle_deltas({sig})
+
+    def force(self, sig: Signal, value: "LV | int") -> None:
+        """Set any signal's value directly (simulator-command style fault
+        injection; bypasses drivers for one delta)."""
+        if isinstance(value, int):
+            value = LV.from_int(sig.width, value)
+        if self._values[sig] != value:
+            self._values[sig] = value
+            self._settle_deltas({sig})
+
+    def watch(self, callback) -> None:
+        """Register ``callback(sim, time)`` invoked after each fully
+        settled time point (used by the waveform recorder)."""
+        self._watchers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Core engine
+    # ------------------------------------------------------------------
+
+    def _run_process(self, proc: Process, changed: "set[Signal]") -> None:
+        """Execute one process activation, buffering its writes."""
+        self.stats["process_activations"] += 1
+        if isinstance(proc, NativeProcess):
+            ctx = NativeCtx(self, self._native_state[id(proc)], self.time)
+            proc.fn(ctx)
+            return
+        env = EvalEnv(
+            read=self._values.__getitem__,
+            read_array=self._arrays.__getitem__,
+        )
+        if isinstance(proc, SyncProcess):
+            if proc.reset is not None:
+                rst = self._values[proc.reset]
+                active = (
+                    not rst.unk and rst.value == proc.reset_level
+                )
+                if active:
+                    exec_stmts(proc.reset_stmts, env)
+                elif proc.reset in changed:
+                    # Woken only by reset release: no clock edge, nothing
+                    # to do for the synchronous body.
+                    return
+                else:
+                    exec_stmts(proc.stmts, env)
+            else:
+                exec_stmts(proc.stmts, env)
+        else:
+            exec_stmts(proc.stmts, env)
+        for sig, value in env.sig_writes.items():
+            self._pending_nba[sig] = value
+        self._pending_arrays.extend(env.array_writes)
+
+    def _commit_pending(self) -> "set[Signal]":
+        """Commit buffered writes; returns the set of changed signals.
+        Writes to signals with a configured transport delay are moved
+        to the delayed-event heap instead."""
+        changed: set[Signal] = set()
+        for store in (self._pending_nba, self._pending_native):
+            for sig, value in store.items():
+                delay = self._total_delay(sig)
+                if delay:
+                    self._seq += 1
+                    heapq.heappush(
+                        self._delayed,
+                        (self.time + delay, self._seq, sig, value),
+                    )
+                    continue
+                if self._values[sig] != value:
+                    self._values[sig] = value
+                    changed.add(sig)
+            store.clear()
+        for arr, index, value in self._pending_arrays:
+            if not index.unk and index.value < arr.depth:
+                if self._arrays[arr][index.value] != value:
+                    self._arrays[arr][index.value] = value
+                    changed.add(arr)
+        self._pending_arrays.clear()
+        self.stats["events"] += len(changed)
+        return changed
+
+    def _settle_deltas(self, changed: "set[Signal]") -> None:
+        """Run combinational processes to a fixpoint (delta cycles)."""
+        for _ in range(MAX_DELTA_CYCLES):
+            if not changed:
+                return
+            woken: list[Process] = []
+            seen: set[int] = set()
+            for sig in changed:
+                for proc in self._sens_map.get(sig, ()):
+                    if id(proc) not in seen:
+                        seen.add(id(proc))
+                        woken.append(proc)
+            if not woken:
+                return
+            self.stats["delta_cycles"] += 1
+            for proc in woken:
+                self._run_process(proc, changed)
+            changed = self._commit_pending()
+        raise DeltaOverflowError(
+            f"combinational logic did not settle at t={self.time} ps"
+        )
+
+    def _apply_delayed_at(self, t: int) -> "set[Signal]":
+        """Pop and apply delayed commits scheduled exactly at ``t``."""
+        changed: set[Signal] = set()
+        while self._delayed and self._delayed[0][0] == t:
+            _, _, sig, value = heapq.heappop(self._delayed)
+            if self._values[sig] != value:
+                self._values[sig] = value
+                changed.add(sig)
+        self.stats["events"] += len(changed)
+        return changed
+
+    def _process_time_point(self, t: int) -> None:
+        """One full simulation cycle at absolute time ``t``:
+        delayed commits first, then clock toggles, then delta loop."""
+        self.time = t
+
+        changed = self._apply_delayed_at(t)
+        edge_procs: list[Process] = []
+
+        for clk in self._clocks.values():
+            if clk.next_toggle == t:
+                clk.value ^= 1
+                new = LV.from_int(1, clk.value)
+                self._values[clk.signal] = new
+                changed.add(clk.signal)
+                edge = "rise" if clk.value else "fall"
+                edge_procs.extend(
+                    self._sync_map.get((id(clk.signal), edge), ())
+                )
+                clk.next_toggle = t + clk.half
+
+        if edge_procs:
+            for proc in edge_procs:
+                self._run_process(proc, changed)
+            changed |= self._commit_pending()
+
+        self._settle_deltas(changed)
+        for callback in self._watchers:
+            callback(self, t)
+
+    def _next_event_time(self) -> "int | None":
+        candidates = [clk.next_toggle for clk in self._clocks.values()]
+        if self._delayed:
+            candidates.append(self._delayed[0][0])
+        return min(candidates) if candidates else None
+
+    def run_until(self, t_stop: int) -> None:
+        """Process every event with time <= ``t_stop``."""
+        while True:
+            t = self._next_event_time()
+            if t is None or t > t_stop:
+                break
+            self._process_time_point(t)
+        self.time = max(self.time, t_stop)
+
+    # ------------------------------------------------------------------
+    # Cycle-level testbench interface
+    # ------------------------------------------------------------------
+
+    def next_rising_edge(self) -> int:
+        """Absolute time of the next rising edge of the main clock."""
+        clk = self._clocks[self.main_clock]
+        return clk.next_toggle if clk.value == 0 else clk.next_toggle + clk.half
+
+    def cycle(self, inputs: "dict[Signal, int | LV] | None" = None) -> None:
+        """Apply ``inputs`` now, then advance one full main-clock cycle
+        (through the next rising and falling edges).
+
+        After the call, outputs reflect the clock edge that consumed
+        the supplied inputs -- the same contract as one TLM
+        ``b_transport`` transaction in the abstracted model.  (With
+        ``input_launch_at_edge`` the inputs are instead launched just
+        after this cycle's rising edge and are consumed by the *next*
+        edge, as data from an upstream register would be.)
+        """
+        t_rise = self.next_rising_edge()
+        # Align the poke instant with steady state: inputs always apply
+        # just before the consuming edge (the first call would otherwise
+        # poke a full period early, letting delayed comb commits from
+        # back-annotated paths land one cycle ahead).
+        if self.time < t_rise - 1:
+            self.run_until(t_rise - 1)
+        if inputs:
+            if self.input_launch_at_edge:
+                for sig, value in inputs.items():
+                    if isinstance(value, int):
+                        value = LV.from_int(sig.width, value)
+                    self._seq += 1
+                    heapq.heappush(
+                        self._delayed, (t_rise + 1, self._seq, sig, value)
+                    )
+            else:
+                for sig, value in inputs.items():
+                    self.poke(sig, value)
+        self.run_until(t_rise + self.main_period - 1)
+        self.stats["cycles"] += 1
+
+    def run_cycles(self, n: int, each=None) -> None:
+        """Run ``n`` cycles; ``each(sim, i)`` may poke inputs per cycle."""
+        for i in range(n):
+            if each is not None:
+                each(self, i)
+            self.cycle()

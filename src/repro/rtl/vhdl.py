@@ -1,0 +1,342 @@
+"""VHDL backend: emit synthesisable VHDL-93 text from the RTL IR.
+
+The emitted text serves two purposes:
+
+* it is the artefact whose size the paper reports in the *RTL (loc)*
+  columns of Tables 1 and 2 (the IPs there are VHDL/Verilog designs),
+  so lines-of-code metrics in this reproduction are measured on real
+  generated HDL rather than on the Python that builds the IR;
+* it documents the augmented designs (sensors included) in a form a
+  hardware engineer can inspect.
+
+Native (sensor) processes are emitted as behavioural component bodies
+from canned, parameterised templates -- mirroring how the paper's flow
+instantiates pre-designed sensor IP at each monitored endpoint.
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    Array,
+    ArrayRead,
+    ArrayWrite,
+    Assign,
+    Binop,
+    Case,
+    CombProcess,
+    Concat,
+    Const,
+    Expr,
+    If,
+    Module,
+    Mux,
+    NativeProcess,
+    Signal,
+    Slice,
+    SliceAssign,
+    Stmt,
+    SyncProcess,
+    Unop,
+    process_reads,
+)
+
+__all__ = ["emit_vhdl", "count_loc"]
+
+_BINOP_VHDL = {
+    "and": "and", "or": "or", "xor": "xor",
+    "add": "+", "sub": "-", "mul": "*",
+    "eq": "=", "ne": "/=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "lt_s": "<", "le_s": "<=", "gt_s": ">", "ge_s": ">=",
+}
+
+
+def _sig_type(width: int) -> str:
+    if width == 1:
+        return "std_logic"
+    return f"std_logic_vector({width - 1} downto 0)"
+
+
+def _const_literal(value: int, width: int) -> str:
+    if width == 1:
+        return f"'{value & 1}'"
+    return '"' + format(value & ((1 << width) - 1), f"0{width}b") + '"'
+
+
+def _expr_vhdl(expr: Expr) -> str:
+    """Pretty-print an expression (numeric_std style)."""
+    if isinstance(expr, Signal):
+        return expr.name
+    if isinstance(expr, Const):
+        return _const_literal(expr.value, expr.width)
+    if isinstance(expr, Slice):
+        base = _expr_vhdl(expr.a)
+        if expr.hi == expr.lo:
+            return f"{base}({expr.lo})"
+        return f"{base}({expr.hi} downto {expr.lo})"
+    if isinstance(expr, Concat):
+        return "(" + " & ".join(_expr_vhdl(p) for p in expr.parts) + ")"
+    if isinstance(expr, Unop):
+        a = _expr_vhdl(expr.a)
+        if expr.op in ("not", "bool_not"):
+            return f"(not {a})"
+        if expr.op == "neg":
+            return f"std_logic_vector(-signed({a}))"
+        return f"{expr.op}({a})"  # reduction helpers from util package
+    if isinstance(expr, Binop):
+        a, b = _expr_vhdl(expr.a), _expr_vhdl(expr.b)
+        op = expr.op
+        if op in ("and", "or", "xor"):
+            return f"({a} {_BINOP_VHDL[op]} {b})"
+        if op in ("add", "sub", "mul"):
+            return (
+                f"std_logic_vector(unsigned({a}) {_BINOP_VHDL[op]} "
+                f"unsigned({b}))"
+            )
+        if op in ("shl", "shr", "sar"):
+            fn = {"shl": "shift_left", "shr": "shift_right", "sar": "shift_right"}[op]
+            cast = "signed" if op == "sar" else "unsigned"
+            return (
+                f"std_logic_vector({fn}({cast}({a}), "
+                f"to_integer(unsigned({b}))))"
+            )
+        # comparisons return std_logic via helper
+        cast = "signed" if op.endswith("_s") else "unsigned"
+        return f"b2sl({cast}({a}) {_BINOP_VHDL[op]} {cast}({b}))"
+    if isinstance(expr, Mux):
+        return (
+            f"mux2({_expr_vhdl(expr.sel)}, {_expr_vhdl(expr.a)}, "
+            f"{_expr_vhdl(expr.b)})"
+        )
+    if isinstance(expr, ArrayRead):
+        return (
+            f"{expr.array.name}(to_integer(unsigned({_expr_vhdl(expr.index)})))"
+        )
+    raise TypeError(f"cannot emit expression {expr!r}")
+
+
+def _emit_stmts(stmts: "list[Stmt]", indent: int, out: "list[str]") -> None:
+    pad = "  " * indent
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            out.append(f"{pad}{stmt.target.name} <= {_expr_vhdl(stmt.expr)};")
+        elif isinstance(stmt, SliceAssign):
+            if stmt.hi == stmt.lo:
+                target = f"{stmt.target.name}({stmt.lo})"
+            else:
+                target = f"{stmt.target.name}({stmt.hi} downto {stmt.lo})"
+            out.append(f"{pad}{target} <= {_expr_vhdl(stmt.expr)};")
+        elif isinstance(stmt, ArrayWrite):
+            out.append(
+                f"{pad}{stmt.array.name}"
+                f"(to_integer(unsigned({_expr_vhdl(stmt.index)})))"
+                f" <= {_expr_vhdl(stmt.value)};"
+            )
+        elif isinstance(stmt, If):
+            out.append(f"{pad}if {_expr_vhdl(stmt.cond)} = '1' then")
+            _emit_stmts(stmt.then, indent + 1, out)
+            if stmt.orelse:
+                out.append(f"{pad}else")
+                _emit_stmts(stmt.orelse, indent + 1, out)
+            out.append(f"{pad}end if;")
+        elif isinstance(stmt, Case):
+            out.append(f"{pad}case {_expr_vhdl(stmt.sel)} is")
+            for label, body in stmt.cases:
+                out.append(
+                    f"{pad}  when {_const_literal(label, stmt.sel.width)} =>"
+                )
+                _emit_stmts(body, indent + 2, out)
+            out.append(f"{pad}  when others =>")
+            if stmt.default:
+                _emit_stmts(stmt.default, indent + 2, out)
+            else:
+                out.append(f"{pad}    null;")
+            out.append(f"{pad}end case;")
+        else:
+            raise TypeError(f"cannot emit statement {stmt!r}")
+
+
+#: Behavioural template bodies for sensor primitives, keyed by the
+#: ``meta['vhdl_template']`` tag that sensor constructors attach.
+_NATIVE_TEMPLATES = {
+    "razor": [
+        "-- modified Razor flip-flop: main FF + shadow latch on delayed",
+        "-- clock; E flags main/shadow mismatch; R enables self-recovery",
+        "process({clock})",
+        "begin",
+        "  if rising_edge({clock}) then",
+        "    main_ff <= {d};",
+        "  end if;",
+        "  if falling_edge({clock}) then",
+        "    shadow_latch <= {d};",
+        "    {e} <= b2sl(main_ff /= shadow_latch);",
+        "    if {r} = '1' and main_ff /= shadow_latch then",
+        "      {q} <= shadow_latch;  -- recovery",
+        "    end if;",
+        "  end if;",
+        "end process;",
+    ],
+    "counter": [
+        "-- counter-based delay monitor (Fig. 5): an HF_CLK counter with",
+        "-- R1/R2 transition-capture registers, CPS latches, a LUT",
+        "-- threshold compare and the 3-cycle measurement control FSM",
+        "signal {meas}_count    : std_logic_vector(7 downto 0) := (others => '0');",
+        "signal {meas}_r1       : std_logic_vector(7 downto 0) := (others => '0');",
+        "signal {meas}_r2       : std_logic_vector(7 downto 0) := (others => '0');",
+        "signal {meas}_r1_en    : std_logic := '0';",
+        "signal {meas}_r2_en    : std_logic := '0';",
+        "signal {meas}_cps_prev : std_logic := '0';",
+        "signal {meas}_last_cps : std_logic := '0';",
+        "signal {meas}_obs_win  : std_logic := '0';",
+        "signal {meas}_state    : std_logic_vector(1 downto 0) := \"00\";",
+        "constant {meas}_LUT    : unsigned(7 downto 0) := to_unsigned(LUT_THRESHOLD, 8);",
+        "measure_{meas} : process({hf_clock})",
+        "begin",
+        "  if rising_edge({hf_clock}) then",
+        "    if {meas}_obs_win = '1' then",
+        "      {meas}_count <= std_logic_vector(unsigned({meas}_count) + 1);",
+        "      if cps_now /= {meas}_cps_prev then",
+        "        if cps_now = '1' then",
+        "          {meas}_r1 <= {meas}_count;",
+        "          {meas}_r1_en <= '1';",
+        "        else",
+        "          {meas}_r2 <= {meas}_count;",
+        "          {meas}_r2_en <= '1';",
+        "        end if;",
+        "      end if;",
+        "      {meas}_cps_prev <= cps_now;",
+        "    end if;",
+        "  end if;",
+        "end process;",
+        "window_{meas} : process({clock})",
+        "begin",
+        "  if rising_edge({clock}) then",
+        "    case {meas}_state is",
+        "      when \"00\" =>  -- open the observability window",
+        "        {meas}_obs_win <= '1';",
+        "        {meas}_state <= \"01\";",
+        "      when \"01\" =>  -- close window, select R1/R2 by last CPS",
+        "        {meas}_last_cps <= {meas}_cps_prev;",
+        "        if {meas}_cps_prev = '1' then",
+        "          {meas} <= {meas}_r1;",
+        "        else",
+        "          {meas} <= {meas}_r2;",
+        "        end if;",
+        "        {meas}_state <= \"10\";",
+        "      when others =>  -- output-stable cycle, reset and restart",
+        "        {ok} <= b2sl(unsigned({meas}) <= {meas}_LUT);",
+        "        {meas}_count <= (others => '0');",
+        "        {meas}_r1_en <= '0';",
+        "        {meas}_r2_en <= '0';",
+        "        {meas}_state <= \"00\";",
+        "    end case;",
+        "  end if;",
+        "end process;",
+    ],
+}
+
+
+def _emit_native(proc: NativeProcess, out: "list[str]") -> None:
+    template = proc.meta.get("vhdl_template")
+    if template not in _NATIVE_TEMPLATES:
+        out.append(f"  -- native process {proc.name} (no VHDL template)")
+        return
+    instances = proc.meta.get("instances") or [proc.meta.get("vhdl_subst", {})]
+    for index, subst in enumerate(instances):
+        out.append(f"  -- sensor instance {index}: {proc.name}")
+        for line in _NATIVE_TEMPLATES[template]:
+            try:
+                out.append("  " + line.format(**subst))
+            except (KeyError, IndexError):
+                out.append("  " + line)
+
+
+def emit_vhdl(module: Module) -> str:
+    """Emit one VHDL design unit per module in the tree, children first."""
+    units: list[str] = []
+    emitted: set[int] = set()
+
+    def visit(mod: Module) -> None:
+        for _, child in mod.submodules:
+            visit(child)
+        if id(mod) in emitted:
+            return
+        emitted.add(id(mod))
+        units.append(_emit_entity(mod))
+
+    visit(module)
+    header = [
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "use ieee.numeric_std.all;",
+        "use work.repro_util.all;  -- b2sl, mux2, reductions",
+        "",
+    ]
+    return "\n".join(header) + "\n\n".join(units) + "\n"
+
+
+def _emit_entity(mod: Module) -> str:
+    out: list[str] = []
+    out.append(f"entity {mod.name} is")
+    if mod.ports:
+        out.append("  port (")
+        for i, port in enumerate(mod.ports):
+            direction = "in " if port.direction == "in" else "out"
+            sep = ";" if i < len(mod.ports) - 1 else ""
+            out.append(
+                f"    {port.name} : {direction} {_sig_type(port.width)}{sep}"
+            )
+        out.append("  );")
+    out.append(f"end entity {mod.name};")
+    out.append("")
+    out.append(f"architecture rtl of {mod.name} is")
+    for sig in mod.signals:
+        out.append(
+            f"  signal {sig.name} : {_sig_type(sig.width)}"
+            f" := {_const_literal(sig.init, sig.width)};"
+        )
+    for arr in mod.arrays:
+        out.append(
+            f"  type {arr.name}_t is array (0 to {arr.depth - 1}) of "
+            f"{_sig_type(arr.width)};"
+        )
+        out.append(f"  signal {arr.name} : {arr.name}_t;")
+    out.append("begin")
+    for inst_name, child in mod.submodules:
+        out.append(f"  {inst_name} : entity work.{child.name};")
+    for proc in mod.processes:
+        if isinstance(proc, SyncProcess):
+            sens = [proc.clock.name]
+            if proc.reset is not None:
+                sens.append(proc.reset.name)
+            out.append(f"  {proc.name} : process({', '.join(sens)})")
+            out.append("  begin")
+            if proc.reset is not None:
+                level = "'1'" if proc.reset_level else "'0'"
+                out.append(f"    if {proc.reset.name} = {level} then")
+                _emit_stmts(proc.reset_stmts, 3, out)
+                edge = "rising_edge" if proc.edge == "rise" else "falling_edge"
+                out.append(f"    elsif {edge}({proc.clock.name}) then")
+            else:
+                edge = "rising_edge" if proc.edge == "rise" else "falling_edge"
+                out.append(f"    if {edge}({proc.clock.name}) then")
+            _emit_stmts(proc.stmts, 3, out)
+            out.append("    end if;")
+            out.append("  end process;")
+        elif isinstance(proc, CombProcess):
+            sens = proc.sensitivity or sorted(
+                process_reads(proc), key=lambda s: s.name
+            )
+            names = ", ".join(s.name for s in sens)
+            out.append(f"  {proc.name} : process({names})")
+            out.append("  begin")
+            _emit_stmts(proc.stmts, 2, out)
+            out.append("  end process;")
+        elif isinstance(proc, NativeProcess):
+            _emit_native(proc, out)
+    out.append(f"end architecture rtl;")
+    return "\n".join(out)
+
+
+def count_loc(text: str) -> int:
+    """Count non-blank lines (the convention used in the paper's tables)."""
+    return sum(1 for line in text.splitlines() if line.strip())

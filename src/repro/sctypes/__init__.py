@@ -1,0 +1,23 @@
+"""SystemC-style data types (the *slow, accurate* library).
+
+The paper's standard RTL-to-TLM abstraction maps HDL data types onto
+SystemC types (``sc_lv``, ``sc_bv``, ``sc_int``), whose generality
+costs simulation speed; Table 4 then shows the gain from swapping them
+for HDTLib.  This package is the stand-in for the SystemC side: a
+deliberately faithful multi-value logic vector that
+
+* stores one :class:`~repro.rtl.types.Logic` state per bit,
+* dispatches every bitwise operation through per-bit truth tables
+  (lookup-table style, as ``sc_lv`` does),
+* allocates a fresh object per operation.
+
+It is semantically equivalent to :class:`repro.rtl.types.LV` (property
+tests enforce this) but structurally mirrors why SystemC data types
+dominate TLM simulation time.
+"""
+
+from .logic_vector import ScLogicVector
+from .bit_vector import ScBitVector
+from .integers import ScInt, ScUInt
+
+__all__ = ["ScLogicVector", "ScBitVector", "ScInt", "ScUInt"]

@@ -1,0 +1,95 @@
+"""``sc_bv``-style two-valued bit vector (per-bit list storage).
+
+Like :class:`~repro.sctypes.logic_vector.ScLogicVector` but restricted
+to ``0``/``1``; conversions from multi-value inputs fold ``X``/``Z`` to
+``0``.  Kept per-bit on purpose: it represents the SystemC bit-vector
+class, not the optimised HDTLib one.
+"""
+
+from __future__ import annotations
+
+from .logic_vector import ScLogicVector
+
+__all__ = ["ScBitVector"]
+
+
+class ScBitVector:
+    """A two-valued bit vector stored one bit per list slot."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: "list[int]") -> None:
+        if not bits:
+            raise ValueError("ScBitVector cannot be empty")
+        if any(b not in (0, 1) for b in bits):
+            raise ValueError("ScBitVector bits must be 0 or 1")
+        self.bits = bits
+
+    @staticmethod
+    def from_int(width: int, value: int) -> "ScBitVector":
+        value &= (1 << width) - 1
+        return ScBitVector([(value >> i) & 1 for i in range(width)])
+
+    @staticmethod
+    def from_logic_vector(lv: ScLogicVector) -> "ScBitVector":
+        """Fold ``X``/``Z`` to 0 (the abstraction the paper applies when
+        moving from four-valued RTL types to two-valued TLM types)."""
+        return ScBitVector([b if b < 2 else 0 for b in lv.bits])
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    def to_int(self) -> int:
+        return sum(b << i for i, b in enumerate(self.bits))
+
+    def __str__(self) -> str:
+        return "".join(str(b) for b in reversed(self.bits))
+
+    def __repr__(self) -> str:
+        return f"ScBitVector('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ScBitVector):
+            return self.bits == other.bits
+        if isinstance(other, int):
+            return self.to_int() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.bits))
+
+    def _check_width(self, other: "ScBitVector") -> None:
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+
+    def __and__(self, other: "ScBitVector") -> "ScBitVector":
+        self._check_width(other)
+        return ScBitVector([a & b for a, b in zip(self.bits, other.bits)])
+
+    def __or__(self, other: "ScBitVector") -> "ScBitVector":
+        self._check_width(other)
+        return ScBitVector([a | b for a, b in zip(self.bits, other.bits)])
+
+    def __xor__(self, other: "ScBitVector") -> "ScBitVector":
+        self._check_width(other)
+        return ScBitVector([a ^ b for a, b in zip(self.bits, other.bits)])
+
+    def __invert__(self) -> "ScBitVector":
+        return ScBitVector([1 - b for b in self.bits])
+
+    def __add__(self, other: "ScBitVector") -> "ScBitVector":
+        self._check_width(other)
+        return ScBitVector.from_int(self.width, self.to_int() + other.to_int())
+
+    def __sub__(self, other: "ScBitVector") -> "ScBitVector":
+        self._check_width(other)
+        return ScBitVector.from_int(self.width, self.to_int() - other.to_int())
+
+    def slice(self, hi: int, lo: int) -> "ScBitVector":
+        if not (0 <= lo <= hi < self.width):
+            raise IndexError(f"slice [{hi}:{lo}] out of range")
+        return ScBitVector(self.bits[lo : hi + 1])
+
+    def concat(self, other: "ScBitVector") -> "ScBitVector":
+        return ScBitVector(other.bits + self.bits)

@@ -1,0 +1,102 @@
+"""``sc_int`` / ``sc_uint``-style fixed-width integers.
+
+Width-checked, wrapping integers used by the SystemC-flavoured TLM
+models for counters and indices.  They validate width on every
+operation, mirroring the bookkeeping cost of the SystemC templates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ScUInt", "ScInt"]
+
+
+class ScUInt:
+    """Unsigned fixed-width integer with wrap-around semantics."""
+
+    __slots__ = ("width", "value")
+
+    def __init__(self, width: int, value: int = 0) -> None:
+        if not 1 <= width <= 512:
+            raise ValueError("ScUInt width must be in [1, 512]")
+        self.width = width
+        self.value = value & ((1 << width) - 1)
+
+    def _wrap(self, value: int) -> "ScUInt":
+        return type(self)(self.width, value)
+
+    def _other_value(self, other) -> int:
+        if isinstance(other, (ScUInt, ScInt)):
+            if other.width != self.width:
+                raise ValueError("width mismatch")
+            return other.value
+        return int(other)
+
+    def __add__(self, other) -> "ScUInt":
+        return self._wrap(self.value + self._other_value(other))
+
+    def __sub__(self, other) -> "ScUInt":
+        return self._wrap(self.value - self._other_value(other))
+
+    def __mul__(self, other) -> "ScUInt":
+        return self._wrap(self.value * self._other_value(other))
+
+    def __and__(self, other) -> "ScUInt":
+        return self._wrap(self.value & self._other_value(other))
+
+    def __or__(self, other) -> "ScUInt":
+        return self._wrap(self.value | self._other_value(other))
+
+    def __xor__(self, other) -> "ScUInt":
+        return self._wrap(self.value ^ self._other_value(other))
+
+    def __lshift__(self, n: int) -> "ScUInt":
+        return self._wrap(self.value << n)
+
+    def __rshift__(self, n: int) -> "ScUInt":
+        return self._wrap(self.value >> n)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (ScUInt, ScInt)):
+            return self.width == other.width and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        return self.value < self._other_value(other)
+
+    def __le__(self, other) -> bool:
+        return self.value <= self._other_value(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.width, self.value))
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.width}, {self.value})"
+
+
+class ScInt(ScUInt):
+    """Signed fixed-width integer (two's complement storage)."""
+
+    __slots__ = ()
+
+    @property
+    def signed_value(self) -> int:
+        half = 1 << (self.width - 1)
+        return self.value - (1 << self.width) if self.value >= half else self.value
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, ScInt):
+            return self.signed_value < other.signed_value
+        return self.signed_value < int(other)
+
+    def __le__(self, other) -> bool:
+        if isinstance(other, ScInt):
+            return self.signed_value <= other.signed_value
+        return self.signed_value <= int(other)
+
+    def __int__(self) -> int:
+        return self.signed_value

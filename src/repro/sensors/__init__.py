@@ -1,0 +1,29 @@
+"""Embedded timing monitors: Razor, Counter-based, and insertion."""
+
+from .counter import (
+    HF_RATIO_DEFAULT,
+    LUT_THRESHOLD_DEFAULT,
+    MEASUREMENT_LATENCY_CYCLES,
+    CounterBank,
+    CounterTap,
+    attach_counter_bank,
+)
+from .endpoints import InsertionError, extract_endpoint_signals
+from .insertion import AugmentedIP, insert_sensors
+from .razor import RazorBank, RazorTap, attach_razor_bank
+
+__all__ = [
+    "HF_RATIO_DEFAULT",
+    "LUT_THRESHOLD_DEFAULT",
+    "MEASUREMENT_LATENCY_CYCLES",
+    "CounterBank",
+    "CounterTap",
+    "attach_counter_bank",
+    "InsertionError",
+    "extract_endpoint_signals",
+    "AugmentedIP",
+    "insert_sensors",
+    "RazorBank",
+    "RazorTap",
+    "attach_razor_bank",
+]

@@ -1,0 +1,73 @@
+"""Endpoint extraction: expose the D input of monitored flip-flops.
+
+Both sensors observe the combinational value *arriving* at a critical
+path endpoint.  In the source RTL that value is an anonymous
+expression inside a synchronous process, so the insertion strategy
+(paper Section 4.2: "the RTL signal corresponding to the target
+endpoint is connected to a newly created instance of the delay sensor
+component, possibly through an intermediate variable") first rewrites
+the design:
+
+* for each monitored register ``q``, derive its next-state expression
+  and materialise it as an explicit combinational signal ``q__d``;
+* replace the register's assignments with the single statement
+  ``q <= q__d``.
+
+The transform is semantics-preserving (the next-state fold already
+accounts for enables/branches by feeding back the old value), and the
+new ``q__d`` signal is exactly where STA's nominal path delay is
+back-annotated and where delay faults are injected.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.ir import Assign, Module, Signal, SyncProcess
+from repro.rtl.nextstate import drop_assignments_to, next_state_exprs
+
+__all__ = ["extract_endpoint_signals", "InsertionError"]
+
+
+class InsertionError(RuntimeError):
+    """Raised when sensor insertion preconditions fail."""
+
+
+def extract_endpoint_signals(
+    module: Module,
+    monitored_registers: "list[Signal]",
+) -> "dict[Signal, Signal]":
+    """Materialise ``q__d`` for each monitored register (in place).
+
+    Returns a map ``register -> endpoint signal``.  The endpoint signal
+    is driven by a new combinational process and consumed by the
+    register's rewritten synchronous process.
+    """
+    owners: dict[int, tuple[SyncProcess, Module]] = {}
+
+    def find_owner(mod: Module) -> None:
+        for proc in mod.processes:
+            if isinstance(proc, SyncProcess):
+                for reg in next_state_exprs(proc):
+                    owners[id(reg)] = (proc, mod)
+        for _, child in mod.submodules:
+            find_owner(child)
+
+    find_owner(module)
+
+    endpoint_of: dict[Signal, Signal] = {}
+    for reg in monitored_registers:
+        if id(reg) not in owners:
+            raise InsertionError(
+                f"register {reg.name!r} is not driven by a synchronous "
+                f"process in module {module.name!r}"
+            )
+        proc, owner_mod = owners[id(reg)]
+        next_expr = next_state_exprs(proc)[reg]
+
+        endpoint = Signal(f"{reg.name}__d", reg.width)
+        owner_mod.adopt(endpoint)
+        owner_mod.comb(f"{reg.name}__d_p", [Assign(endpoint, next_expr)])
+
+        proc.stmts = drop_assignments_to(proc.stmts, reg)
+        proc.stmts.append(Assign(reg, endpoint))
+        endpoint_of[reg] = endpoint
+    return endpoint_of

@@ -1,0 +1,22 @@
+"""Stimuli generation and sensor monitoring."""
+
+from .generators import (
+    Lfsr,
+    lfsr_vectors,
+    mixed_vectors,
+    ramp_vectors,
+    random_vectors,
+    walking_ones_vectors,
+)
+from .monitor import SensorActivity, TlmSensorMonitor
+
+__all__ = [
+    "Lfsr",
+    "lfsr_vectors",
+    "mixed_vectors",
+    "ramp_vectors",
+    "random_vectors",
+    "walking_ones_vectors",
+    "SensorActivity",
+    "TlmSensorMonitor",
+]

@@ -1,0 +1,14 @@
+"""Operator-level synthesis: technology model, area and timing arcs."""
+
+from .cells import LIB45, TechLibrary
+from .synthesize import Arc, SynthesisResult, expr_area, expr_arrival, synthesize
+
+__all__ = [
+    "LIB45",
+    "TechLibrary",
+    "Arc",
+    "SynthesisResult",
+    "expr_area",
+    "expr_arrival",
+    "synthesize",
+]

@@ -1,0 +1,139 @@
+"""Technology model: a 45 nm-class standard-cell library.
+
+Calibrated to be *plausible* for a commercial 45 nm process at the
+paper's operating point (1.05 V): gate delays in the tens of ps, a
+flip-flop around six NAND2-equivalents, word operators built from the
+usual macro structures (carry-lookahead adders, barrel shifters, array
+multipliers).  Absolute numbers matter less than their ratios -- STA
+only needs a conservative ordering of path delays, which Section 4.2
+of the paper states is the only requirement on the timing engine.
+
+Delay model
+-----------
+``delay_ps(op, width)`` is the nominal (TT / 1.05 V / 25 C) propagation
+delay of one word-level operator.  Corner, OCV and aging derating are
+applied multiplicatively by :class:`repro.sta.corners.DeratingModel`.
+
+Area model
+----------
+``area_nand2(op, width)`` counts NAND2-equivalent gates, the unit the
+paper's Table 1 uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["TechLibrary", "LIB45"]
+
+
+def _log2ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+class TechLibrary:
+    """Delay and area models for word-level operators.
+
+    Parameters are exposed so tests and ablation benches can build
+    faster/slower variants; :data:`LIB45` is the default instance used
+    throughout the flow.
+    """
+
+    def __init__(
+        self,
+        name: str = "repro45",
+        *,
+        gate_delay_ps: float = 16.0,
+        ff_setup_ps: float = 35.0,
+        ff_clk_to_q_ps: float = 70.0,
+        ff_area_nand2: float = 6.0,
+        input_delay_ps: float = 0.0,
+        array_access_ps: float = 140.0,
+    ) -> None:
+        self.name = name
+        self.gate_delay_ps = gate_delay_ps
+        self.ff_setup_ps = ff_setup_ps
+        self.ff_clk_to_q_ps = ff_clk_to_q_ps
+        self.ff_area_nand2 = ff_area_nand2
+        self.input_delay_ps = input_delay_ps
+        self.array_access_ps = array_access_ps
+
+    # ------------------------------------------------------------------
+    # Delay
+    # ------------------------------------------------------------------
+
+    def delay_ps(self, op: str, width: int) -> float:
+        """Nominal propagation delay of one operator instance."""
+        g = self.gate_delay_ps
+        lg = _log2ceil(width)
+        if op in ("and", "or", "xor", "not"):
+            return g
+        if op == "bool_not":
+            return g
+        if op in ("add", "sub", "neg"):
+            # carry-lookahead: ~2 levels + log2(width) carry levels
+            return g * (2 + lg)
+        if op == "mul":
+            # array multiplier with final CLA: quadratic partial products
+            # reduced in a Wallace-like tree
+            return g * (4 + 2 * lg + width // 4)
+        if op in ("eq", "ne"):
+            return g * (1 + lg)
+        if op in ("lt", "le", "gt", "ge", "lt_s", "le_s", "gt_s", "ge_s"):
+            return g * (2 + lg)
+        if op in ("shl", "shr", "sar"):
+            # barrel shifter: one mux level per shift-amount bit
+            return g * (1 + lg)
+        if op == "mux":
+            return g * 1.4
+        if op in ("red_and", "red_or", "red_xor"):
+            return g * lg
+        if op == "array_read":
+            return self.array_access_ps
+        if op in ("slice", "concat", "const", "signal"):
+            return 0.0
+        raise KeyError(f"no delay model for op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+
+    def area_nand2(self, op: str, width: int) -> float:
+        """NAND2-equivalent gate count of one operator instance."""
+        if op in ("and", "or", "not", "bool_not"):
+            return 1.0 * width
+        if op == "xor":
+            return 2.5 * width
+        if op in ("add", "sub", "neg"):
+            return 7.0 * width  # full adder ~ 7 NAND2 per bit
+        if op == "mul":
+            return 1.4 * width * width  # partial products + reduction
+        if op in ("eq", "ne"):
+            return 3.0 * width
+        if op in ("lt", "le", "gt", "ge", "lt_s", "le_s", "gt_s", "ge_s"):
+            return 5.0 * width
+        if op in ("shl", "shr", "sar"):
+            return 3.0 * width * _log2ceil(width)
+        if op == "mux":
+            return 3.0 * width
+        if op in ("red_and", "red_or"):
+            return 1.0 * max(1, width - 1)
+        if op == "red_xor":
+            return 2.5 * max(1, width - 1)
+        if op in ("slice", "concat", "const", "signal", "array_read"):
+            return 0.0
+        raise KeyError(f"no area model for op {op!r}")
+
+    def ff_area(self, bits: int) -> float:
+        """Area of ``bits`` flip-flops."""
+        return self.ff_area_nand2 * bits
+
+    def array_area(self, depth: int, width: int) -> float:
+        """Register-file style array: FF bits + read mux tree."""
+        storage = self.ff_area_nand2 * depth * width
+        read_mux = 3.0 * width * max(1, depth - 1) / 2.0
+        return storage + read_mux
+
+
+#: Default library instance used by the flow.
+LIB45 = TechLibrary()

@@ -1,0 +1,17 @@
+"""TLM runtime: payloads, sockets, LT/AT protocol drivers."""
+
+from .payload import GenericPayload, TlmCommand, TlmResponse
+from .protocols import ApproximatelyTimedDriver, LooselyTimedDriver
+from .sockets import CycleTarget, InitiatorSocket, TargetSocket, TlmPhase
+
+__all__ = [
+    "GenericPayload",
+    "TlmCommand",
+    "TlmResponse",
+    "ApproximatelyTimedDriver",
+    "LooselyTimedDriver",
+    "CycleTarget",
+    "InitiatorSocket",
+    "TargetSocket",
+    "TlmPhase",
+]

@@ -1,0 +1,49 @@
+"""TLM-2.0 style generic payload.
+
+A compact reproduction of the OSCI TLM-2.0 generic payload: command,
+address, data, byte enables and response status.  The cross-level flow
+uses it to carry one cycle's worth of port values between an initiator
+(testbench / stimuli generator) and the target wrapping a generated
+TLM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["TlmCommand", "TlmResponse", "GenericPayload"]
+
+
+class TlmCommand(Enum):
+    READ = "read"
+    WRITE = "write"
+    IGNORE = "ignore"
+
+
+class TlmResponse(Enum):
+    INCOMPLETE = "incomplete"
+    OK = "ok"
+    ADDRESS_ERROR = "address_error"
+    COMMAND_ERROR = "command_error"
+    GENERIC_ERROR = "generic_error"
+
+
+@dataclass
+class GenericPayload:
+    """One transaction.  ``data`` maps port names to integer values
+    (write: inputs to drive; read response: outputs observed)."""
+
+    command: TlmCommand = TlmCommand.IGNORE
+    address: int = 0
+    data: "dict[str, int]" = field(default_factory=dict)
+    response: TlmResponse = TlmResponse.INCOMPLETE
+    #: extensions, as in TLM-2.0 (sensor observations travel here)
+    extensions: "dict[str, object]" = field(default_factory=dict)
+
+    def set_ok(self) -> None:
+        self.response = TlmResponse.OK
+
+    @property
+    def is_ok(self) -> bool:
+        return self.response is TlmResponse.OK

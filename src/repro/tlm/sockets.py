@@ -1,0 +1,110 @@
+"""Initiator/target sockets with blocking and non-blocking transport.
+
+The binding model follows TLM-2.0: an initiator socket binds to a
+target socket; ``b_transport`` carries a payload and a timing
+annotation (simulated time offset), ``nb_transport_fw/bw`` exchange
+phase-annotated calls for the approximately-timed protocol.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from .payload import GenericPayload, TlmResponse
+
+__all__ = ["TlmPhase", "InitiatorSocket", "TargetSocket", "CycleTarget"]
+
+
+class TlmPhase(Enum):
+    BEGIN_REQ = "begin_req"
+    END_REQ = "end_req"
+    BEGIN_RESP = "begin_resp"
+    END_RESP = "end_resp"
+
+
+class TargetSocket:
+    """Target-side socket; forwards to the owning component."""
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+
+    def b_transport(self, payload: GenericPayload, time_ps: int) -> int:
+        """Blocking transport; returns the updated time offset."""
+        return self.owner.b_transport(payload, time_ps)
+
+    def nb_transport_fw(
+        self, payload: GenericPayload, phase: TlmPhase, time_ps: int
+    ):
+        return self.owner.nb_transport_fw(payload, phase, time_ps)
+
+
+class InitiatorSocket:
+    """Initiator-side socket; must be bound before use."""
+
+    def __init__(self, owner=None) -> None:
+        self.owner = owner
+        self._target: "TargetSocket | None" = None
+
+    def bind(self, target: TargetSocket) -> None:
+        if self._target is not None:
+            raise RuntimeError("initiator socket already bound")
+        self._target = target
+
+    @property
+    def is_bound(self) -> bool:
+        return self._target is not None
+
+    def b_transport(self, payload: GenericPayload, time_ps: int) -> int:
+        if self._target is None:
+            raise RuntimeError("initiator socket is not bound")
+        return self._target.b_transport(payload, time_ps)
+
+    def nb_transport_fw(
+        self, payload: GenericPayload, phase: TlmPhase, time_ps: int
+    ):
+        if self._target is None:
+            raise RuntimeError("initiator socket is not bound")
+        return self._target.nb_transport_fw(payload, phase, time_ps)
+
+
+class CycleTarget:
+    """Wraps a generated TLM model as a TLM-2.0 target.
+
+    Each WRITE transaction drives the payload's ``data`` as the
+    inputs of one clock cycle, runs ``scheduler()`` once and stores
+    the outputs back into ``data`` -- the transaction-per-cycle
+    contract of the paper's abstraction (Fig. 7).  The time annotation
+    advances by the model's nominal clock period.
+    """
+
+    def __init__(self, model, clock_period_ps: int = 1000) -> None:
+        self.model = model
+        self.clock_period_ps = clock_period_ps
+        self.socket = TargetSocket(self)
+        self.cycles = 0
+
+    def b_transport(self, payload: GenericPayload, time_ps: int) -> int:
+        unknown = [
+            name for name in payload.data
+            if name not in self.model.PORTS_IN
+        ]
+        if unknown:
+            payload.response = TlmResponse.ADDRESS_ERROR
+            return time_ps
+        outputs = self.model.b_transport(dict(payload.data))
+        payload.data = outputs
+        payload.set_ok()
+        self.cycles += 1
+        return time_ps + self.clock_period_ps
+
+    def nb_transport_fw(
+        self, payload: GenericPayload, phase: TlmPhase, time_ps: int
+    ):
+        """Two-phase AT mapping: BEGIN_REQ runs the cycle, response is
+        immediately available (the model is a synchronous block)."""
+        if phase is TlmPhase.BEGIN_REQ:
+            new_time = self.b_transport(payload, time_ps)
+            return TlmPhase.BEGIN_RESP, new_time
+        if phase is TlmPhase.END_RESP:
+            return TlmPhase.END_RESP, time_ps
+        raise ValueError(f"unexpected forward phase {phase}")

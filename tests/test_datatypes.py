@@ -1,0 +1,289 @@
+"""Tests for the two data-type libraries (sctypes and hdtlib) and the
+cross-library equivalence properties that justify the data-type
+abstraction step (paper Section 5.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hdtlib import (
+    BitVec2,
+    LogicVal,
+    LogicVec4,
+    SInt,
+    UInt,
+    bitvec_from_lv,
+    int_from_lv,
+    logicvec_from_lv,
+    lv_from_logicvec,
+    ops,
+)
+from repro.rtl.types import LV
+from repro.sctypes import ScBitVector, ScInt, ScLogicVector, ScUInt
+
+
+# ----------------------------------------------------------------------
+# sctypes
+# ----------------------------------------------------------------------
+
+class TestScLogicVector:
+    def test_roundtrip_str(self):
+        assert str(ScLogicVector.from_str("10XZ")) == "10XZ"
+
+    def test_from_to_lv(self):
+        lv = LV.from_str("1X0Z")
+        assert ScLogicVector.from_lv(lv).to_lv() == lv
+
+    def test_and_matches_lv(self):
+        a, b = "110X", "1010"
+        got = ScLogicVector.from_str(a) & ScLogicVector.from_str(b)
+        assert str(got) == str(LV.from_str(a) & LV.from_str(b))
+
+    def test_arith_contaminates(self):
+        a = ScLogicVector.from_str("1X")
+        b = ScLogicVector.from_int(2, 1)
+        assert str(a + b) == "XX"
+
+    def test_shifts(self):
+        v = ScLogicVector.from_int(8, 0b1001)
+        assert (v.shl(2)).to_int() == 0b100100
+        assert (v.shr(3)).to_int() == 0b1
+        s = ScLogicVector.from_int(4, 0b1000)
+        assert s.sar(2).to_int() == 0b1110
+
+    def test_compare(self):
+        a = ScLogicVector.from_int(4, 0xF)
+        b = ScLogicVector.from_int(4, 1)
+        assert a.gt(b) == 1
+        assert a.lt(b, signed=True) == 1
+
+    def test_slice_concat(self):
+        v = ScLogicVector.from_int(8, 0xA5)
+        assert v.slice(7, 4).to_int() == 0xA
+        assert v.slice(7, 4).concat(v.slice(3, 0)).to_int() == 0xA5
+
+    def test_reductions(self):
+        assert ScLogicVector.from_int(3, 0b111).reduce_and() == 1
+        assert ScLogicVector.from_int(3, 0b000).reduce_or() == 0
+        assert ScLogicVector.from_int(3, 0b101).reduce_xor() == 0
+
+    def test_resize(self):
+        v = ScLogicVector.from_int(4, 0b1000)
+        assert v.resize(8, signed=True).to_int() == 0xF8
+        assert v.resize(8).to_int() == 0x08
+        assert v.resize(2).to_int() == 0b00
+
+    def test_to_int_or(self):
+        assert ScLogicVector.from_str("1X").to_int_or(0) == 0b10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ScLogicVector([])
+
+
+class TestScBitVector:
+    def test_fold_from_logic(self):
+        lv = ScLogicVector.from_str("1XZ0")
+        assert ScBitVector.from_logic_vector(lv).to_int() == 0b1000
+
+    def test_ops(self):
+        a = ScBitVector.from_int(4, 0b1100)
+        b = ScBitVector.from_int(4, 0b1010)
+        assert (a & b).to_int() == 0b1000
+        assert (a | b).to_int() == 0b1110
+        assert (a ^ b).to_int() == 0b0110
+        assert (~a).to_int() == 0b0011
+        assert (a + b).to_int() == (0b1100 + 0b1010) & 0xF
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScBitVector([0, 2])
+
+
+class TestScIntegers:
+    def test_wrap(self):
+        assert (ScUInt(8, 200) + 100).value == 44
+
+    def test_signed_view(self):
+        assert ScInt(4, 0xF).signed_value == -1
+        assert int(ScInt(4, 0x7)) == 7
+
+    def test_signed_ordering(self):
+        assert ScInt(4, 0xF) < ScInt(4, 1)
+        assert not ScUInt(4, 0xF) < ScUInt(4, 1)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ScUInt(4, 1) + ScUInt(8, 1)
+
+
+# ----------------------------------------------------------------------
+# hdtlib
+# ----------------------------------------------------------------------
+
+class TestOps:
+    def test_mask(self):
+        assert ops.mask(8) == 0xFF
+
+    def test_arith(self):
+        assert ops.add(250, 10, 8) == 4
+        assert ops.sub(0, 1, 8) == 255
+        assert ops.mul(16, 16, 8) == 0
+
+    def test_signed(self):
+        assert ops.to_signed(0xFF, 8) == -1
+        assert ops.lt_s(0xFF, 1, 8) == 1
+        assert ops.ge_s(1, 0xFF, 8) == 1
+
+    def test_shifts(self):
+        assert ops.shl(1, 10, 8) == 0
+        assert ops.sar(0x80, 4, 8) == 0xF8
+        assert ops.sar(0x80, 100, 8) == 0xFF
+
+    def test_reductions(self):
+        assert ops.red_and(0xFF, 8) == 1
+        assert ops.red_and(0xFE, 8) == 0
+        assert ops.red_or(0, 8) == 0
+        assert ops.red_xor(0b1011, 4) == 1
+
+    def test_structure(self):
+        assert ops.slice_(0xA5, 7, 4) == 0xA
+        assert ops.concat([(0xA, 4), (0x5, 4)]) == 0xA5
+        assert ops.replace_slice(0x00, 5, 2, 0xF) == 0b00111100
+        assert ops.mux(1, 5, 9) == 5
+        assert ops.mux(0, 5, 9) == 9
+
+
+class TestBitVec2:
+    def test_immutable(self):
+        v = BitVec2(4, 5)
+        with pytest.raises(AttributeError):
+            v.value = 2
+
+    def test_ops(self):
+        a, b = BitVec2(8, 0xF0), BitVec2(8, 0x0F)
+        assert (a | b).to_int() == 0xFF
+        assert (a & b).to_int() == 0
+        assert (a + b).to_int() == 0xFF
+        assert (~a).to_int() == 0x0F
+
+    def test_signed(self):
+        assert BitVec2(4, 0xF).to_int_signed() == -1
+
+    def test_slice_concat_resize(self):
+        v = BitVec2(8, 0xA5)
+        assert v.slice(7, 4).to_int() == 0xA
+        assert v.slice(7, 4).concat(v.slice(3, 0)).to_int() == 0xA5
+        assert BitVec2(4, 0x8).resize(8, signed=True).to_int() == 0xF8
+
+
+class TestLogicVec4:
+    def test_z_normalised_to_x(self):
+        assert str(LogicVec4.from_str("Z1")) == "X1"
+
+    def test_planes_disjoint(self):
+        v = LogicVec4(4, 0b1111, 0b0011)
+        assert v.value & v.unk == 0
+
+    def test_to_int_folds(self):
+        assert LogicVec4.from_str("1X").to_int() == 0b10
+
+    def test_karnaugh_and(self):
+        a = LogicVec4.from_str("0X1X")
+        b = LogicVec4.from_str("XX11")
+        assert str(a & b) == "0X1X"
+
+    def test_karnaugh_or(self):
+        a = LogicVec4.from_str("1X0X")
+        b = LogicVec4.from_str("XX00")
+        assert str(a | b) == "1X0X"
+
+    def test_logicval(self):
+        assert str(LogicVal("Z")) == "X"
+        assert LogicVal("1") == 1
+        assert not LogicVal("X").is_known
+
+
+class TestHdtIntegers:
+    def test_uint_wraps(self):
+        assert int(UInt(8, 255) + 1) == 0
+
+    def test_sint_signed(self):
+        assert int(SInt(8, 0xFF)) == -1
+        assert SInt(8, 0xFF) < SInt(8, 0)
+
+
+# ----------------------------------------------------------------------
+# Cross-library equivalence properties
+# ----------------------------------------------------------------------
+
+logic_text = st.text(alphabet="01XZ", min_size=1, max_size=24)
+
+
+@given(logic_text, logic_text)
+def test_prop_sctypes_matches_lv_bitwise(a, b):
+    """ScLogicVector (table-driven) == LV (plane-driven) on all ops."""
+    if len(a) != len(b):
+        b = (b * len(a))[: len(a)]
+    la, lb = LV.from_str(a), LV.from_str(b)
+    sa, sb = ScLogicVector.from_str(a), ScLogicVector.from_str(b)
+    assert str(sa & sb) == str(la & lb)
+    assert str(sa | sb) == str(la | lb)
+    assert str(sa ^ sb) == str(la ^ lb)
+    assert str(~sa) == str(~la)
+
+
+@given(logic_text)
+def test_prop_hdtlib_matches_lv_unary(text):
+    """LogicVec4 matches LV modulo the Z->X fold."""
+    lv = LV.from_str(text)
+    hv = logicvec_from_lv(lv)
+    assert str(hv) == str(lv).replace("Z", "X")
+    assert str(~hv) == str(~lv)
+
+
+@given(logic_text, logic_text)
+def test_prop_hdtlib_matches_lv_bitwise(a, b):
+    if len(a) != len(b):
+        b = (b * len(a))[: len(a)]
+    la, lb = LV.from_str(a), LV.from_str(b)
+    ha, hb = logicvec_from_lv(la), logicvec_from_lv(lb)
+    assert lv_from_logicvec(ha & hb) == (la & lb)
+    assert lv_from_logicvec(ha | hb) == (la | lb)
+    assert lv_from_logicvec(ha ^ hb) == (la ^ lb)
+
+
+@given(logic_text)
+def test_prop_xz_fold_is_stable(text):
+    """Folding X/Z->0 then reinterpreting defined bits is idempotent
+    and agrees across all three libraries."""
+    lv = LV.from_str(text)
+    as_int = int_from_lv(lv)
+    assert as_int == lv.to_int_or(0)
+    assert bitvec_from_lv(lv).to_int() == as_int
+    assert logicvec_from_lv(lv).to_int() == as_int
+    assert ScLogicVector.from_lv(lv).to_int_or(0) == as_int
+
+
+@given(st.integers(1, 48), st.data())
+def test_prop_defined_vectors_agree_everywhere(width, data):
+    """On fully-defined data, LV, ScLogicVector, BitVec2 and raw ops
+    all compute identical arithmetic."""
+    a = data.draw(st.integers(0, (1 << width) - 1))
+    b = data.draw(st.integers(0, (1 << width) - 1))
+    expected = (a + b) & ((1 << width) - 1)
+    assert (LV.from_int(width, a) + LV.from_int(width, b)).to_int() == expected
+    assert (
+        ScLogicVector.from_int(width, a) + ScLogicVector.from_int(width, b)
+    ).to_int() == expected
+    assert (BitVec2(width, a) + BitVec2(width, b)).to_int() == expected
+    assert ops.add(a, b, width) == expected
+
+
+@given(st.integers(1, 48), st.data())
+def test_prop_shift_agreement(width, data):
+    value = data.draw(st.integers(0, (1 << width) - 1))
+    n = data.draw(st.integers(0, width + 4))
+    assert BitVec2(width, value).shl(n).to_int() == \
+        LV.from_int(width, value).shl(n).to_int()
+    assert BitVec2(width, value).sar(n).to_int() == \
+        LV.from_int(width, value).sar(n).to_int()

@@ -1,0 +1,144 @@
+"""Tests for the VCD exporter, saboteurs and the CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.mutation.saboteurs import Saboteur, insert_saboteur
+from repro.rtl import Assign, Module, Simulation, const
+from repro.rtl.vcd import VcdWriter
+
+
+def counter_module():
+    m = Module("vcd_dut")
+    clk = m.input("clk")
+    q = m.output("q", 4)
+    m.sync("p", clk, [Assign(q, q + const(1, 4))])
+    return m, clk, q
+
+
+class TestVcd:
+    def test_writes_valid_header_and_changes(self, tmp_path):
+        m, clk, q = counter_module()
+        sim = Simulation(m, {clk: 1000})
+        path = str(tmp_path / "wave.vcd")
+        with VcdWriter(sim, path, [clk, q]) as vcd:
+            sim.run_cycles(5)
+        text = open(path).read()
+        assert "$timescale 1ps $end" in text
+        assert "$var reg 4" in text and " q $end" in text
+        assert "$dumpvars" in text
+        assert "#1000" in text  # first rising edge timestamp
+        assert vcd.changes_written > 10  # clock toggles + counter
+
+    def test_multibit_values_binary(self, tmp_path):
+        m, clk, q = counter_module()
+        sim = Simulation(m, {clk: 1000})
+        path = str(tmp_path / "wave.vcd")
+        with VcdWriter(sim, path, [q]):
+            sim.run_cycles(3)
+        lines = [l for l in open(path) if l.startswith("b")]
+        assert any(l.startswith("b0011 ") for l in lines)  # q == 3
+
+    def test_x_states_rendered(self, tmp_path):
+        m = Module("xdut")
+        clk = m.input("clk")
+        q = m.output("q", 2)
+        m.sync("p", clk, [Assign(q, q + const(1, 2))])
+        sim = Simulation(m, {clk: 1000}, init_unknown=True)
+        path = str(tmp_path / "x.vcd")
+        with VcdWriter(sim, path, [q]):
+            sim.run_cycles(1)
+        assert "bxx" in open(path).read()
+
+
+class TestSaboteurs:
+    def build(self):
+        m = Module("sab_dut")
+        clk = m.input("clk")
+        d = m.input("d", 8)
+        s = m.signal("s", 8)
+        q = m.output("q", 8)
+        m.comb("p_s", [Assign(s, d + const(1, 8))])
+        m.sync("p_q", clk, [Assign(q, s)])
+        return m, clk, d, s, q
+
+    def test_transparent_when_inactive(self):
+        m, clk, d, s, q = self.build()
+        sab = insert_saboteur(m, s, mode="invert")
+        sim = Simulation(m, {clk: 1000})
+        sim.cycle({d: 10, sab.control: 0})
+        sim.cycle()
+        assert sim.peek_int(q) == 11
+
+    def test_invert_mode_corrupts(self):
+        m, clk, d, s, q = self.build()
+        sab = insert_saboteur(m, s, mode="invert")
+        sim = Simulation(m, {clk: 1000})
+        sim.cycle({d: 10, sab.control: 1})
+        sim.cycle()
+        assert sim.peek_int(q) == (~11) & 0xFF
+
+    def test_stuck_x_mode(self):
+        m, clk, d, s, q = self.build()
+        sab = insert_saboteur(m, s, mode="stuck_x")
+        sim = Simulation(m, {clk: 1000})
+        sim.cycle({d: 10, sab.control: 1})
+        sim.cycle()
+        assert not sim.peek(q).is_fully_defined
+
+    def test_delay_mode_forwards_previous(self):
+        m, clk, d, s, q = self.build()
+        sab = insert_saboteur(m, s, mode="delay")
+        sim = Simulation(m, {clk: 1000})
+        sim.cycle({d: 10, sab.control: 0})
+        sim.cycle({d: 20, sab.control: 1})
+        sim.cycle({sab.control: 0})
+        # While engaged, the consumer saw a stale value at some point;
+        # after release the pipeline recovers.
+        sim.cycle()
+        assert sim.peek_int(q) == 21
+
+    def test_unknown_mode_rejected(self):
+        m, clk, d, s, q = self.build()
+        with pytest.raises(ValueError):
+            insert_saboteur(m, s, mode="gremlin")
+
+    def test_undriven_signal_rejected(self):
+        m, clk, d, s, q = self.build()
+        ghost = m.signal("ghost", 4)
+        with pytest.raises(ValueError):
+            insert_saboteur(m, ghost)
+
+    def test_saboteur_needs_control_wiring(self):
+        """The structural cost the paper attributes to saboteurs: a new
+        top-level control port per instance."""
+        m, clk, d, s, q = self.build()
+        before = len(m.inputs())
+        insert_saboteur(m, s)
+        assert len(m.inputs()) == before + 1
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "plasma" in out and "filter" in out
+
+    def test_emit_vhdl(self, capsys):
+        assert cli_main(["emit", "filter", "vhdl"]) == 0
+        out = capsys.readouterr().out
+        assert "entity filter_ip is" in out
+
+    def test_emit_tlm_with_sensor(self, capsys):
+        assert cli_main(
+            ["emit", "dsp", "tlm", "--sensor", "razor"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "def scheduler(self):" in out
+        assert "Razor bank" in out
+
+    def test_bad_ip_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["flow", "nonexistent", "razor"])

@@ -1,0 +1,186 @@
+"""End-to-end flow tests on the real case studies.
+
+The filter IP (the smallest) goes through the complete methodology
+with both sensor types; the DSP and Plasma get structural smoke tests
+(their full campaigns run in the benchmarks).
+"""
+
+import pytest
+
+from repro.flow import run_flow, speedup, time_rtl, time_tlm
+from repro.ips import case_study
+from repro.reporting import format_kv, format_table
+from repro.stimuli import (
+    TlmSensorMonitor,
+    lfsr_vectors,
+    mixed_vectors,
+    random_vectors,
+    ramp_vectors,
+    walking_ones_vectors,
+)
+
+
+@pytest.fixture(scope="module")
+def filter_razor():
+    return run_flow(case_study("filter"), "razor")
+
+
+@pytest.fixture(scope="module")
+def filter_counter():
+    return run_flow(case_study("filter"), "counter")
+
+
+class TestFlowArtifacts:
+    def test_critical_paths_found(self, filter_razor):
+        assert filter_razor.sensors_inserted > 0
+        assert filter_razor.critical.count == filter_razor.sensors_inserted
+
+    def test_augmentation_grows_rtl(self, filter_razor):
+        assert filter_razor.augmented_rtl_loc > filter_razor.original_rtl_loc
+
+    def test_counter_version_larger_than_razor(
+        self, filter_razor, filter_counter
+    ):
+        """Counter sensors need more RTL than Razor FFs (Table 2)."""
+        assert (
+            filter_counter.augmented_rtl_loc > filter_razor.augmented_rtl_loc
+        )
+
+    def test_tlm_variants_generated(self, filter_razor):
+        assert filter_razor.tlm_standard.variant == "sctypes"
+        assert filter_razor.tlm_optimized.variant == "hdtlib"
+        assert filter_razor.tlm_standard.loc > 0
+        assert filter_razor.injected.loc > filter_razor.tlm_optimized.loc
+
+    def test_mutant_counts_match_table5_ratio(
+        self, filter_razor, filter_counter
+    ):
+        n = filter_razor.sensors_inserted
+        assert len(filter_razor.injected.mutants) == 2 * n
+        m = filter_counter.sensors_inserted
+        assert len(filter_counter.injected.mutants) == 3 * m
+
+
+class TestFlowMutationOutcomes:
+    def test_razor_kills_all(self, filter_razor):
+        report = filter_razor.mutation
+        assert report.killed_pct == 100.0, report.survivors()
+
+    def test_razor_raises_all(self, filter_razor):
+        assert filter_razor.mutation.risen_pct == 100.0
+
+    def test_razor_corrects_all(self, filter_razor):
+        assert filter_razor.mutation.corrected_pct == 100.0
+
+    def test_counter_kills_all(self, filter_counter):
+        report = filter_counter.mutation
+        assert report.killed_pct == 100.0, report.survivors()
+
+    def test_counter_risen_below_100(self, filter_counter):
+        assert 0.0 < filter_counter.mutation.risen_pct < 100.0
+
+    def test_counter_delta_measured(self, filter_counter):
+        deltas = [
+            o for o in filter_counter.mutation.outcomes if o.kind == "delta"
+        ]
+        assert deltas
+        for outcome in deltas:
+            assert outcome.meas_val == outcome.hf_tick
+
+
+class TestFlowTiming:
+    def test_tlm_faster_than_rtl(self, filter_razor):
+        """The headline Table 3/4 shape on a small workload."""
+        stimuli = filter_razor.spec.stimulus(120)
+        rtl = time_rtl(filter_razor.augmented, stimuli)
+        tlm_sc = time_tlm(filter_razor.tlm_standard, stimuli)
+        tlm_hd = time_tlm(filter_razor.tlm_optimized, stimuli)
+        assert speedup(rtl, tlm_sc) > 1.0
+        assert speedup(rtl, tlm_hd) > speedup(rtl, tlm_sc)
+
+    def test_injected_slower_than_plain_tlm(self, filter_razor):
+        stimuli = filter_razor.spec.stimulus(120)
+        plain = time_tlm(filter_razor.tlm_optimized, stimuli)
+        injected = time_tlm(
+            filter_razor.injected, stimuli, mutant_index=0
+        )
+        # Injection adds management overhead (Table 5 shows ~+43%);
+        # at minimum it must not be faster by more than noise.
+        assert injected.seconds > plain.seconds * 0.7
+
+
+class TestRtlValidationInFlow:
+    def test_filter_razor_validates_at_rtl(self):
+        result = run_flow(
+            case_study("filter"),
+            "razor",
+            run_mutation=False,
+            run_rtl_validation=True,
+        )
+        assert result.rtl_validation is not None
+        assert result.rtl_validation.risen_pct == 100.0
+
+
+class TestStimuli:
+    PORTS = {"a": 8, "b": 3}
+
+    def test_random_in_range(self):
+        for vec in random_vectors(self.PORTS, 50):
+            assert 0 <= vec["a"] < 256
+            assert 0 <= vec["b"] < 8
+
+    def test_lfsr_deterministic_nonzero(self):
+        a = lfsr_vectors(self.PORTS, 20)
+        b = lfsr_vectors(self.PORTS, 20)
+        assert a == b
+        assert any(v["a"] for v in a)
+
+    def test_lfsr_zero_seed_rejected(self):
+        from repro.stimuli import Lfsr
+
+        with pytest.raises(ValueError):
+            Lfsr(0)
+
+    def test_ramp_monotone_prefix(self):
+        vecs = ramp_vectors(self.PORTS, 10)
+        assert vecs[1]["a"] > vecs[0]["a"]
+
+    def test_walking_ones_toggles_every_bit(self):
+        vecs = walking_ones_vectors(self.PORTS, 16)
+        seen_a = set(v["a"] for v in vecs)
+        assert {1 << i for i in range(8)} <= seen_a
+
+    def test_mixed_contains_walking(self):
+        vecs = mixed_vectors(self.PORTS, 16)
+        assert vecs[3]["a"] in {1 << i for i in range(8)}
+
+    def test_monitor_counts_sensor_activity(self, filter_razor):
+        model = filter_razor.injected.instantiate()
+        model.activate_mutant(0)
+        monitor = TlmSensorMonitor(model)
+        cycles = filter_razor.spec.mutation_cycles
+        for vec in filter_razor.spec.stimulus(cycles):
+            monitor.cycle({**vec, "razor_r": 1})
+        assert monitor.activity.cycles == cycles
+        assert monitor.activity.saw_errors
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["IP", "value"],
+            [["plasma", 1.5], ["dsp", 22.0]],
+            title="Table X",
+        )
+        assert "Table X" in text
+        assert "plasma" in text
+        lines = text.splitlines()
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_format_kv(self):
+        text = format_kv([("cycles", 100), ("speedup", 3.14159)])
+        assert "cycles" in text and "3.14" in text
+
+    def test_nan_renders_na(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "n.a." in text

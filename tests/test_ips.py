@@ -1,0 +1,250 @@
+"""Functional tests for the three case-study IPs."""
+
+import pytest
+
+from repro.ips import CASE_STUDIES, case_study
+from repro.ips.dsp import BEAT_PERIOD_SAMPLES, build_dsp, flow_stimulus
+from repro.ips.filter import build_filter, pdm_stimulus
+from repro.ips.plasma import (
+    CHECKSUM_EXPECTED,
+    FIB_EXPECTED,
+    SORT_EXPECTED,
+    AsmError,
+    assemble,
+    build_plasma,
+    checksum_program,
+    fibonacci_program,
+    sort_program,
+)
+from repro.rtl import Simulation
+
+
+def run_plasma(program, max_cycles=400):
+    m, clk = build_plasma(program)
+    sim = Simulation(m, {clk: 5000})
+    debug = m.find_signal("debug_out")
+    halted = m.find_signal("halted_o")
+    for _ in range(max_cycles):
+        sim.cycle()
+        if sim.peek_int(halted):
+            break
+    return sim.peek_int(debug), sim.peek_int(halted), sim
+
+
+class TestAssembler:
+    def test_nop_encodes_zero(self):
+        assert assemble("nop") == [0]
+
+    def test_rtype_encoding(self):
+        # addu $t4, $t0, $t1 -> rs=8 rt=9 rd=12 funct=0x21
+        word = assemble("addu $t4, $t0, $t1")[0]
+        assert word == (8 << 21) | (9 << 16) | (12 << 11) | 0x21
+
+    def test_itype_encoding(self):
+        word = assemble("addiu $t0, $zero, -1")[0]
+        assert word == (0x09 << 26) | (8 << 16) | 0xFFFF
+
+    def test_branch_offset_is_relative(self):
+        words = assemble("""
+        start:
+            beq $zero, $zero, start
+        """)
+        assert words[0] & 0xFFFF == 0xFFFF  # -1 word
+
+    def test_labels_forward_and_back(self):
+        words = assemble("""
+            j end
+        mid:
+            nop
+        end:
+            j mid
+        """)
+        assert words[0] & 0x3FFFFFF == 2  # word address of 'end'
+        assert words[2] & 0x3FFFFFF == 1
+
+    def test_li_small_and_large(self):
+        small = assemble("li $t0, 42")
+        assert len(small) == 1
+        large = assemble("li $t0, 0x12345678")
+        assert len(large) == 2  # lui + ori
+
+    def test_memory_operand(self):
+        word = assemble("lw $t1, 8($t0)")[0]
+        assert word >> 26 == 0x23
+        assert word & 0xFFFF == 8
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("addu $t0, $bogus, $t1")
+
+    def test_bad_mnemonic_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("frobnicate $t0, $t1, $t2")
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(AsmError):
+            assemble("addiu $t0, $zero, 70000")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("x: nop\nx: nop")
+
+
+class TestPlasma:
+    def test_fibonacci(self):
+        result, halted, _ = run_plasma(fibonacci_program(12))
+        assert halted == 1
+        assert result == FIB_EXPECTED  # fib(12) == 144
+
+    def test_checksum(self):
+        result, halted, _ = run_plasma(checksum_program())
+        assert halted == 1
+        assert result == CHECKSUM_EXPECTED
+
+    def test_bubble_sort(self):
+        result, halted, _ = run_plasma(sort_program(), max_cycles=800)
+        assert halted == 1
+        assert result == SORT_EXPECTED
+
+    def test_halt_stops_pc(self):
+        _, _, sim = run_plasma(fibonacci_program(5))
+        m = sim.top
+        pc_before = sim.peek_int(m.find_signal("pc_out"))
+        sim.cycle()
+        sim.cycle()
+        assert sim.peek_int(m.find_signal("pc_out")) == pc_before
+
+    def test_instret_counts(self):
+        _, _, sim = run_plasma(fibonacci_program(3))
+        assert sim.peek_int(sim.top.find_signal("instret_o")) > 10
+
+    def test_register_zero_stays_zero(self):
+        program = assemble("""
+            addiu $zero, $zero, 5
+            addiu $t0, $zero, 7
+            li $t1, 0x400
+            sw $t0, 0($t1)
+            sw $zero, 4($t1)
+        hang:
+            j hang
+        """)
+        result, halted, _ = run_plasma(program, max_cycles=30)
+        assert halted == 1
+        assert result == 7  # the write to $zero was discarded
+
+    def test_program_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            build_plasma([0] * 1000)
+
+
+class TestDsp:
+    @pytest.fixture(scope="class")
+    def run(self):
+        m, clk = build_dsp()
+        sim = Simulation(m, {clk: 500})
+        beat = m.find_signal("beat")
+        rate = m.find_signal("rate")
+        energy = m.find_signal("energy")
+        sample_in = m.find_signal("sample_in")
+        sample_valid = m.find_signal("sample_valid")
+        beats = []
+        energies = []
+        for vec in flow_stimulus(6 * BEAT_PERIOD_SAMPLES):
+            sim.cycle({sample_in: vec["sample_in"],
+                       sample_valid: vec["sample_valid"]})
+            beats.append(sim.peek_int(beat))
+            energies.append(sim.peek_int(energy))
+        return beats, energies, sim.peek_int(rate)
+
+    def test_beats_detected(self, run):
+        beats, _, _ = run
+        assert sum(beats) >= 3
+
+    def test_beat_spacing_near_pulse_period(self, run):
+        beats, _, _ = run
+        times = [i for i, b in enumerate(beats) if b]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps, "need at least two beats"
+        for gap in gaps:
+            assert BEAT_PERIOD_SAMPLES * 0.5 <= gap <= BEAT_PERIOD_SAMPLES * 2
+
+    def test_rate_register_converges(self, run):
+        _, _, rate = run
+        assert BEAT_PERIOD_SAMPLES * 0.5 <= rate <= BEAT_PERIOD_SAMPLES * 2
+
+    def test_energy_pulsates(self, run):
+        _, energies, _ = run
+        assert max(energies) > 4 * (min(energies) + 1)
+
+    def test_invalid_samples_freeze_pipeline(self):
+        m, clk = build_dsp()
+        sim = Simulation(m, {clk: 500})
+        sample_in = m.find_signal("sample_in")
+        sample_valid = m.find_signal("sample_valid")
+        energy = m.find_signal("energy")
+        for vec in flow_stimulus(30):
+            sim.cycle({sample_in: vec["sample_in"], sample_valid: 1})
+        frozen = sim.peek_int(energy)
+        for _ in range(10):
+            sim.cycle({sample_in: 0, sample_valid: 0})
+        assert sim.peek_int(energy) == frozen
+
+
+class TestFilter:
+    @pytest.fixture(scope="class")
+    def run(self):
+        m, clk = build_filter()
+        sim = Simulation(m, {clk: 1000})
+        pdm_in = m.find_signal("pdm_in")
+        pcm_out = m.find_signal("pcm_out")
+        pcm_valid = m.find_signal("pcm_valid")
+        outs = []
+        for vec in pdm_stimulus(2048):
+            sim.cycle({pdm_in: vec["pdm_in"]})
+            if sim.peek_int(pcm_valid):
+                value = sim.peek_int(pcm_out)
+                outs.append(value - 65536 if value >= 32768 else value)
+        return outs
+
+    def test_decimation_ratio(self, run):
+        # 2048 PDM bits / 32 = 64 PCM samples (minus pipeline fill).
+        assert 40 <= len(run) <= 64
+
+    def test_output_is_oscillatory(self, run):
+        # The sine input must come through: both polarities present.
+        assert max(run) > 0
+        assert min(run) < 0
+
+    def test_output_amplitude_sane(self, run):
+        assert max(abs(v) for v in run) < 32768
+
+    def test_dc_balanced(self, run):
+        mean = sum(run) / len(run)
+        assert abs(mean) < max(abs(v) for v in run) * 0.5
+
+
+class TestRegistry:
+    def test_all_case_studies_present(self):
+        assert set(CASE_STUDIES) == {"plasma", "dsp", "filter"}
+
+    def test_factories_build_fresh_instances(self):
+        for spec in CASE_STUDIES.values():
+            m1, _ = spec.factory()
+            m2, _ = spec.factory()
+            assert m1 is not m2
+
+    def test_stimuli_match_input_ports(self):
+        for spec in CASE_STUDIES.values():
+            m, clk = spec.factory()
+            port_names = {p.name for p in m.inputs()}
+            for vec in spec.stimulus(3):
+                assert set(vec) <= port_names
+
+    def test_periods_hf_compatible(self):
+        for spec in CASE_STUDIES.values():
+            assert spec.clock_period_ps % 10 == 0
+            assert (spec.clock_period_ps // 10) % 2 == 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            case_study("nonexistent")
