@@ -68,6 +68,13 @@ class MutantSpec:
     register: str   # the monitored register this mutant exercises
 
 
+#: Process-wide cache of compiled generated-model classes, keyed by the
+#: source text itself.  A mutation-campaign shard instantiates the same
+#: generated model once per mutant; compiling the (large) source each
+#: time would dominate the per-mutant cost.
+_COMPILED_CLASSES: "dict[tuple[str, str], type]" = {}
+
+
 @dataclass
 class GeneratedTlm:
     """The outcome of one abstraction run."""
@@ -79,11 +86,26 @@ class GeneratedTlm:
     mutants: "list[MutantSpec]"
     loc: int
 
+    def compiled_class(self) -> type:
+        """Compile the generated source (once per process) and return
+        the model class.  All class-level attributes of the generated
+        model (MUTANTS, LUT_THRESHOLDS, ...) are read-only literals, so
+        sharing the class across instances is safe."""
+        key = (self.class_name, self.source)
+        cls = _COMPILED_CLASSES.get(key)
+        if cls is None:
+            namespace: dict = {}
+            exec(
+                compile(self.source, f"<tlm:{self.class_name}>", "exec"),
+                namespace,
+            )
+            cls = namespace[self.class_name]
+            _COMPILED_CLASSES[key] = cls
+        return cls
+
     def instantiate(self):
-        """Compile and construct the generated model."""
-        namespace: dict = {}
-        exec(compile(self.source, f"<tlm:{self.class_name}>", "exec"), namespace)
-        return namespace[self.class_name]()
+        """Construct a fresh instance of the generated model."""
+        return self.compiled_class()()
 
 
 class _Namer:

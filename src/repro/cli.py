@@ -7,6 +7,14 @@ Commands
 ``flow <ip> <sensor>``
     Run the full four-step methodology on one IP with ``razor`` or
     ``counter`` sensors and print the campaign summary.
+``mutate <ip> <sensor> [--workers N] [--shard-size M] [--cycles C]``
+    Run only the mutation campaign through the sharded engine
+    (:mod:`repro.mutation.campaign`).  ``--workers`` distributes the
+    mutant shards across worker processes (the report is
+    deterministic for any worker count); ``--shard-size`` overrides
+    the automatic one-shard-per-worker batching; ``--cycles``
+    overrides the testbench length.  Prints campaign throughput
+    (mutants/sec) alongside the Table-5 percentages.
 ``timing <ip> <sensor> [cycles]``
     Measure the RTL / TLM / optimised-TLM simulation times on the IP's
     testbench workload.
@@ -61,6 +69,34 @@ def _cmd_flow(args) -> int:
          if report.corrected_pct is not None else "n.a."),
         ("errors risen", f"{report.risen_pct:.1f}%"),
         ("campaign time", f"{report.seconds:.2f} s"),
+    ]))
+    return 0 if report.killed_pct == 100.0 else 1
+
+
+def _cmd_mutate(args) -> int:
+    spec = case_study(args.ip)
+    result = run_flow(
+        spec,
+        args.sensor,
+        mutation_cycles=args.cycles,
+        workers=args.workers,
+        shard_size=args.shard_size,
+    )
+    report = result.mutation
+    print(format_kv([
+        ("IP", spec.title),
+        ("sensor type", args.sensor),
+        ("mutants", report.total),
+        ("testbench cycles", report.cycles_per_run),
+        ("workers", args.workers),
+        ("shard size", args.shard_size if args.shard_size else "auto"),
+        ("killed", f"{report.killed_pct:.1f}%"),
+        ("corrected", f"{report.corrected_pct:.1f}%"
+         if report.corrected_pct is not None else "n.a."),
+        ("errors risen", f"{report.risen_pct:.1f}%"),
+        ("timed out", report.timed_out_count),
+        ("campaign time", f"{report.seconds:.2f} s"),
+        ("throughput", f"{report.mutants_per_second:.2f} mutants/s"),
     ]))
     return 0 if report.killed_pct == 100.0 else 1
 
@@ -128,6 +164,18 @@ def main(argv: "list[str] | None" = None) -> int:
     p_flow.add_argument("ip", choices=sorted(CASE_STUDIES))
     p_flow.add_argument("sensor", choices=["razor", "counter"])
 
+    p_mut = sub.add_parser(
+        "mutate", help="run the sharded mutation campaign"
+    )
+    p_mut.add_argument("ip", choices=sorted(CASE_STUDIES))
+    p_mut.add_argument("sensor", choices=["razor", "counter"])
+    p_mut.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the campaign shards")
+    p_mut.add_argument("--shard-size", type=int, default=None,
+                       help="mutants per shard (default: auto)")
+    p_mut.add_argument("--cycles", type=int, default=None,
+                       help="testbench cycles (default: per-IP value)")
+
     p_time = sub.add_parser("timing", help="RTL vs TLM simulation speed")
     p_time.add_argument("ip", choices=sorted(CASE_STUDIES))
     p_time.add_argument("sensor", choices=["razor", "counter"])
@@ -145,6 +193,7 @@ def main(argv: "list[str] | None" = None) -> int:
     handler = {
         "list": _cmd_list,
         "flow": _cmd_flow,
+        "mutate": _cmd_mutate,
         "timing": _cmd_timing,
         "emit": _cmd_emit,
     }[args.command]

@@ -81,8 +81,15 @@ def run_flow(
     run_mutation: bool = True,
     run_rtl_validation: bool = False,
     rtl_validation_cycles: "int | None" = None,
+    workers: int = 1,
+    shard_size: "int | None" = None,
 ) -> FlowResult:
-    """Execute the full methodology for one IP and sensor type."""
+    """Execute the full methodology for one IP and sensor type.
+
+    ``workers`` / ``shard_size`` are forwarded to the sharded mutation-
+    campaign engine (:mod:`repro.mutation.campaign`); the report is
+    deterministic for any worker count.
+    """
     # -- step 0/1: characterise and insert sensors ------------------------
     module, clk, synth, sta, critical = characterize(spec)
     original_rtl_loc = count_loc(emit_vhdl(module))
@@ -141,6 +148,8 @@ def run_flow(
             ip_name=spec.name,
             sensor_type=sensor_type,
             recovery=True,
+            workers=workers,
+            shard_size=shard_size,
         )
 
     if run_rtl_validation:

@@ -1,12 +1,29 @@
-"""Delay mutants: ADAM injection, TLM campaign, RTL cross-validation."""
+"""Delay mutants: ADAM injection, TLM campaign, RTL cross-validation.
+
+Campaign execution goes through the sharded engine in
+:mod:`repro.mutation.campaign`: the golden stimulus run is memoised
+once per campaign (it is mutant-independent), mutants are batched into
+shards so the generated-model source is compiled once per shard, and a
+``workers`` knob distributes the shards across a
+:class:`concurrent.futures.ProcessPoolExecutor` -- ``workers=1`` runs
+inline, ``workers=N`` shards across ``N`` processes with a
+deterministic, order-independent merge (byte-identical
+:class:`MutationReport` for any worker count).
+:func:`run_mutation_analysis` keeps the historical signature and
+forwards to :func:`repro.mutation.campaign.run_campaign`; both accept
+``workers=`` / ``shard_size=``.
+"""
 
 from .adam import delta_tick_plan, inject_mutants
 from .analysis import (
     SENSOR_PORTS,
+    GoldenTrace,
     MutantOutcome,
     MutationReport,
+    compute_golden_trace,
     run_mutation_analysis,
 )
+from .campaign import CampaignShard, run_campaign, shard_indices
 from .rtl_validation import (
     RtlMutantOutcome,
     RtlValidationReport,
@@ -20,9 +37,14 @@ __all__ = [
     "delta_tick_plan",
     "inject_mutants",
     "SENSOR_PORTS",
+    "GoldenTrace",
     "MutantOutcome",
     "MutationReport",
+    "compute_golden_trace",
     "run_mutation_analysis",
+    "CampaignShard",
+    "run_campaign",
+    "shard_indices",
     "RtlMutantOutcome",
     "RtlValidationReport",
     "validate_at_rtl",

@@ -20,16 +20,27 @@ The stimulus driver implements the stall handshake: when the injected
 model asserts ``razor_stall``, the input vector whose consuming edge
 was stalled is re-presented (a valid/stall interface, which real
 recovery-capable pipelines require anyway).
+
+The golden stream depends only on the stimuli (and the recovery
+setting), never on the active mutant, so it is computed **once per
+campaign** as a :class:`GoldenTrace` and shared by every per-mutant
+run.  :func:`run_mutation_analysis` is a thin compatibility wrapper
+over the sharded engine in :mod:`repro.mutation.campaign`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.abstraction import GeneratedTlm
 
-__all__ = ["MutantOutcome", "MutationReport", "run_mutation_analysis"]
+__all__ = [
+    "GoldenTrace",
+    "MutantOutcome",
+    "MutationReport",
+    "compute_golden_trace",
+    "run_mutation_analysis",
+]
 
 #: Sensor-infrastructure ports excluded from functional comparison.
 SENSOR_PORTS = ("metric_ok", "razor_err", "razor_stall", "meas_val")
@@ -50,6 +61,11 @@ class MutantOutcome:
     corrected: "bool | None"
     meas_val: "int | None"
     first_divergence: "int | None"
+    #: True when the stall handshake exhausted its cycle budget before
+    #: consuming every stimulus; the truncated tail is then *not*
+    #: evidence of a kill (only divergence observed before the timeout
+    #: is).
+    timed_out: bool = False
 
 
 @dataclass
@@ -87,6 +103,15 @@ class MutationReport:
         return _pct(sum(o.corrected for o in judged), len(judged))
 
     @property
+    def timed_out_count(self) -> int:
+        return sum(o.timed_out for o in self.outcomes)
+
+    @property
+    def mutants_per_second(self) -> float:
+        """Campaign throughput (mutants evaluated per wall-clock second)."""
+        return self.total / self.seconds if self.seconds > 0 else 0.0
+
+    @property
     def mutation_score(self) -> float:
         """Killed over total non-equivalent mutants (all delay mutants
         on exercised paths are non-equivalent by construction)."""
@@ -109,6 +134,54 @@ def _is_subsequence(needle: "list", hay: "list") -> bool:
     return all(any(x == y for y in it) for x in needle)
 
 
+@dataclass(frozen=True)
+class GoldenTrace:
+    """The mutant-independent golden reference, computed once per
+    campaign and shared (pickled to worker processes) by every
+    per-mutant run.
+
+    ``full`` holds all primary outputs per cycle (the kill check --
+    sensor flags are primary outputs of the augmented IP), while
+    ``functional`` holds only the non-sensor subset (the corrected
+    check discounts stall repeats against this stream).
+    """
+
+    functional_ports: "tuple[str, ...]"
+    full: "tuple[dict, ...]"
+    functional: "tuple[dict, ...]"
+
+
+def compute_golden_trace(
+    golden,
+    stimuli: "list[dict[str, int]]",
+    *,
+    sensor_type: str = "razor",
+    recovery: bool = True,
+) -> GoldenTrace:
+    """Simulate the non-injected model once over ``stimuli``.
+
+    The golden stream depends only on the stimuli (plus the recovery
+    bit for Razor versions), never on the active mutant -- so one
+    trace serves the whole campaign.
+    """
+    functional_ports = tuple(
+        p for p in golden.PORTS_OUT if p not in SENSOR_PORTS
+    )
+    recovery_bit = 1 if recovery else 0
+    full = []
+    for inputs in stimuli:
+        if sensor_type == "razor":
+            outs = golden.b_transport({**inputs, "razor_r": recovery_bit})
+        else:
+            outs = golden.b_transport(dict(inputs))
+        full.append(outs)
+    return GoldenTrace(
+        functional_ports=functional_ports,
+        full=tuple(full),
+        functional=tuple(_functional(o, functional_ports) for o in full),
+    )
+
+
 def run_mutation_analysis(
     golden_factory,
     injected: GeneratedTlm,
@@ -118,62 +191,42 @@ def run_mutation_analysis(
     sensor_type: str = "razor",
     recovery: bool = True,
     tap_order: "list[str] | None" = None,
+    workers: int = 1,
+    shard_size: "int | None" = None,
 ) -> MutationReport:
     """Run the full campaign: one golden/injected pair per mutant.
+
+    Compatibility wrapper over
+    :func:`repro.mutation.campaign.run_campaign`: the golden stimulus
+    run is memoised once per campaign, mutants are batched into shards,
+    and ``workers > 1`` distributes the shards across worker processes.
+    The merged report is deterministic -- byte-identical outcomes and
+    percentages for any ``workers`` / ``shard_size`` combination.
 
     ``golden_factory()`` must return a fresh non-injected model;
     ``injected`` is the ADAM-generated model description (a fresh
     instance is created per mutant).  ``tap_order`` gives the register
     order of the Counter ``meas_val`` bus (defaults to MUTANTS order).
     """
-    started = time.perf_counter()
-    report = MutationReport(
+    from .campaign import run_campaign
+
+    return run_campaign(
+        golden_factory,
+        injected,
+        stimuli,
         ip_name=ip_name,
         sensor_type=sensor_type,
-        variant=injected.variant,
-        cycles_per_run=len(stimuli),
+        recovery=recovery,
+        tap_order=tap_order,
+        workers=workers,
+        shard_size=shard_size,
     )
-    specs = injected.mutants
-    if tap_order is None:
-        probe = injected.instantiate()
-        tap_order = list(getattr(probe, "COUNTER_TAP_ORDER", ())) or None
-    if tap_order is None:
-        seen: list[str] = []
-        for spec in specs:
-            if spec.register not in seen:
-                seen.append(spec.register)
-        tap_order = seen
-
-    for index, spec in enumerate(specs):
-        golden = golden_factory()
-        mutant = injected.instantiate()
-        mutant.activate_mutant(index)
-        if sensor_type == "razor":
-            outcome = _run_razor_mutant(
-                index, spec, golden, mutant, stimuli, recovery
-            )
-        else:
-            outcome = _run_counter_mutant(
-                index, spec, golden, mutant, stimuli, tap_order
-            )
-        report.outcomes.append(outcome)
-
-    report.seconds = time.perf_counter() - started
-    return report
 
 
-def _run_razor_mutant(index, spec, golden, mutant, stimuli, recovery):
-    functional_ports = tuple(
-        p for p in golden.PORTS_OUT if p not in SENSOR_PORTS
-    )
+def _run_razor_mutant(index, spec, mutant, stimuli, recovery, golden):
+    """Evaluate one Razor mutant against the memoised golden trace."""
+    functional_ports = golden.functional_ports
     recovery_bit = 1 if recovery else 0
-
-    golden_stream = []       # functional ports only (corrected check)
-    golden_full = []         # all ports (kill check; E is an IP output)
-    for inputs in stimuli:
-        outs = golden.b_transport({**inputs, "razor_r": recovery_bit})
-        golden_stream.append(_functional(outs, functional_ports))
-        golden_full.append(outs)
 
     injected_stream = []
     injected_full = []
@@ -186,7 +239,9 @@ def _run_razor_mutant(index, spec, golden, mutant, stimuli, recovery):
     prev_inputs = None
     stalled_next = False
     budget = 3 * len(stimuli) + 8
-    while position < len(pending) and budget:
+    # A stall on the final stimulus still needs its re-presentation,
+    # otherwise the recovered last output is never observed.
+    while (position < len(pending) or stalled_next) and budget:
         budget -= 1
         if stalled_next and prev_inputs is not None:
             inputs = prev_inputs
@@ -201,24 +256,37 @@ def _run_razor_mutant(index, spec, golden, mutant, stimuli, recovery):
         injected_full.append(outs)
         prev_inputs = inputs
 
+    # Budget exhausted mid-stall: stimuli were never consumed, or a
+    # trailing re-presentation was still pending.  That is a driver
+    # timeout, not an observation -- the truncated tail must not count
+    # as a kill by length mismatch, nor be judged for correction.
+    timed_out = (position < len(pending) or stalled_next) and not budget
+
     # Kill check: any observable divergence under lockstep alignment.
     # The sensor outputs (E, stall) are primary outputs of the
     # augmented IP, so a raised error alone makes the mutant
     # observable -- the paper's "if the outputs differ" criterion.
-    for i, expected in enumerate(golden_full):
-        if i >= len(injected_full) or injected_full[i] != expected:
+    for i, expected in enumerate(golden.full):
+        if i >= len(injected_full):
+            # Only reachable after a timeout (a completed run always
+            # yields at least one output per stimulus); the truncated
+            # tail is not evidence of a kill.
+            break
+        if injected_full[i] != expected:
             killed = True
             first_div = i
             break
-    if len(injected_full) != len(golden_full):
+    if not timed_out and len(injected_full) != len(golden.full):
         killed = True
 
     corrected = None
-    if recovery:
+    if recovery and not timed_out:
         # Corrected: the golden stream survives inside the recovered
-        # stream (stall repeats aside) and the error was flagged.
+        # stream (stall repeats aside) and the error was flagged.  A
+        # timed-out run never drove every stimulus, so it cannot be
+        # judged either way and stays out of corrected_pct.
         corrected = error_seen and _is_subsequence(
-            golden_stream, injected_stream
+            list(golden.functional), injected_stream
         )
     return MutantOutcome(
         index=index,
@@ -232,13 +300,12 @@ def _run_razor_mutant(index, spec, golden, mutant, stimuli, recovery):
         corrected=corrected,
         meas_val=None,
         first_divergence=first_div,
+        timed_out=timed_out,
     )
 
 
-def _run_counter_mutant(index, spec, golden, mutant, stimuli, tap_order):
-    functional_ports = tuple(
-        p for p in golden.PORTS_OUT if p not in SENSOR_PORTS
-    )
+def _run_counter_mutant(index, spec, mutant, stimuli, tap_order, golden):
+    """Evaluate one Counter mutant against the memoised golden trace."""
     tap_index = tap_order.index(spec.register)
     lo = 8 * tap_index
 
@@ -248,11 +315,10 @@ def _run_counter_mutant(index, spec, golden, mutant, stimuli, tap_order):
     risen = False
     measured = None
     for i, inputs in enumerate(stimuli):
-        golden_outs = golden.b_transport(dict(inputs))
         mutant_outs = mutant.b_transport(dict(inputs))
-        if _functional(mutant_outs, functional_ports) != _functional(
-            golden_outs, functional_ports
-        ):
+        if _functional(
+            mutant_outs, golden.functional_ports
+        ) != golden.functional[i]:
             if first_div is None:
                 first_div = i
             killed = True
@@ -283,6 +349,7 @@ def _run_counter_mutant(index, spec, golden, mutant, stimuli, tap_order):
         corrected=None,
         meas_val=measured,
         first_divergence=first_div,
+        timed_out=False,
     )
 
 

@@ -286,6 +286,14 @@ class Simulation:
         settled time point (used by the waveform recorder)."""
         self._watchers.append(callback)
 
+    def unwatch(self, callback) -> None:
+        """Remove a callback registered with :meth:`watch`; a no-op if
+        it was never registered (or already removed)."""
+        try:
+            self._watchers.remove(callback)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------
     # Core engine
     # ------------------------------------------------------------------
