@@ -15,9 +15,11 @@ Commands
     the automatic one-shard-per-worker batching; ``--cycles``
     overrides the testbench length.  Prints campaign throughput
     (mutants/sec) alongside the Table-5 percentages.
-``timing <ip> <sensor> [cycles]``
+``timing <ip> <sensor> [cycles] [--rtl-exec compiled|interpreted]``
     Measure the RTL / TLM / optimised-TLM simulation times on the IP's
-    testbench workload.
+    testbench workload.  ``--rtl-exec both`` additionally times the
+    interpreted RTL kernel next to the compiled one, showing the
+    compile-once speedup in place.
 ``emit <ip> {vhdl|tlm} [--sensor razor|counter]``
     Print the generated VHDL of the (augmented) IP, or the generated
     TLM Python model.
@@ -105,19 +107,32 @@ def _cmd_timing(args) -> int:
     spec = case_study(args.ip)
     result = run_flow(spec, args.sensor, run_mutation=False)
     stimuli = spec.stimulus(args.cycles or spec.mutation_cycles)
-    rtl = time_rtl(result.augmented, stimuli)
+    mode = "compiled" if args.rtl_exec == "both" else args.rtl_exec
+    rtl = time_rtl(result.augmented, stimuli, exec_mode=mode)
+    rows = [
+        [f"RTL (event-driven, {mode})", f"{rtl.seconds:.4f}",
+         int(rtl.cycles_per_second), "1.00x"],
+    ]
+    if args.rtl_exec == "both":
+        interp = time_rtl(
+            result.augmented, stimuli, exec_mode="interpreted"
+        )
+        rows.append(
+            ["RTL (event-driven, interpreted)", f"{interp.seconds:.4f}",
+             int(interp.cycles_per_second),
+             f"{speedup(rtl, interp):.2f}x"]
+        )
     std = time_tlm(result.tlm_standard, stimuli)
     opt = time_tlm(result.tlm_optimized, stimuli)
+    rows += [
+        ["TLM (sctypes)", f"{std.seconds:.4f}",
+         int(std.cycles_per_second), f"{speedup(rtl, std):.2f}x"],
+        ["TLM (hdtlib)", f"{opt.seconds:.4f}",
+         int(opt.cycles_per_second), f"{speedup(rtl, opt):.2f}x"],
+    ]
     print(format_table(
         ["level", "time (s)", "cycles/s", "speedup vs RTL"],
-        [
-            ["RTL (event-driven)", f"{rtl.seconds:.4f}",
-             int(rtl.cycles_per_second), "1.00x"],
-            ["TLM (sctypes)", f"{std.seconds:.4f}",
-             int(std.cycles_per_second), f"{speedup(rtl, std):.2f}x"],
-            ["TLM (hdtlib)", f"{opt.seconds:.4f}",
-             int(opt.cycles_per_second), f"{speedup(rtl, opt):.2f}x"],
-        ],
+        rows,
         title=f"{spec.title} / {args.sensor}: {len(stimuli)} cycles",
     ))
     return 0
@@ -180,6 +195,12 @@ def main(argv: "list[str] | None" = None) -> int:
     p_time.add_argument("ip", choices=sorted(CASE_STUDIES))
     p_time.add_argument("sensor", choices=["razor", "counter"])
     p_time.add_argument("cycles", nargs="?", type=int, default=None)
+    p_time.add_argument(
+        "--rtl-exec",
+        choices=["compiled", "interpreted", "both"],
+        default="compiled",
+        help="RTL kernel execution mode (both: time the two modes)",
+    )
 
     p_emit = sub.add_parser("emit", help="print generated VHDL / TLM")
     p_emit.add_argument("ip", choices=sorted(CASE_STUDIES))

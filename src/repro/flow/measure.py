@@ -41,17 +41,23 @@ def time_rtl(
     stimuli: "list[dict[str, int]]",
     *,
     repeats: int = 1,
+    exec_mode: str = "compiled",
 ) -> LevelTiming:
-    """Run the augmented RTL through the event-driven kernel."""
+    """Run the augmented RTL through the event-driven kernel.
+
+    ``exec_mode`` selects the kernel execution mode (``"compiled"``
+    closures by default; ``"interpreted"`` for the reference walker).
+    """
     input_ports = {p.name: p for p in augmented.module.inputs()}
     best = float("inf")
     for _ in range(repeats):
-        sim = augmented.make_simulation()
+        sim = augmented.make_simulation(exec_mode=exec_mode)
         started = time.perf_counter()
         for vec in stimuli:
             sim.cycle({input_ports[k]: v for k, v in vec.items()})
         best = min(best, time.perf_counter() - started)
-    return LevelTiming("rtl", best, len(stimuli))
+    level = "rtl" if exec_mode == "compiled" else f"rtl-{exec_mode}"
+    return LevelTiming(level, best, len(stimuli))
 
 
 def time_tlm(

@@ -83,12 +83,16 @@ def run_flow(
     rtl_validation_cycles: "int | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
+    rtl_exec_mode: str = "compiled",
 ) -> FlowResult:
     """Execute the full methodology for one IP and sensor type.
 
     ``workers`` / ``shard_size`` are forwarded to the sharded mutation-
     campaign engine (:mod:`repro.mutation.campaign`); the report is
-    deterministic for any worker count.
+    deterministic for any worker count.  ``rtl_exec_mode`` selects the
+    RTL kernel execution mode for every event-driven simulation the
+    flow runs (``"compiled"`` closures by default, ``"interpreted"``
+    for the reference IR walker -- see :mod:`repro.rtl.compile`).
     """
     # -- step 0/1: characterise and insert sensors ------------------------
     module, clk, synth, sta, critical = characterize(spec)
@@ -103,6 +107,7 @@ def run_flow(
         critical,
         sensor_type=sensor_type,
         calibration_stimuli=calibration,
+        exec_mode=rtl_exec_mode,
     )
     augmented_rtl_loc = count_loc(emit_vhdl(module))
 
@@ -171,5 +176,6 @@ def run_flow(
             drive,
             cycles=rtl_validation_cycles,
             ip_name=spec.name,
+            exec_mode=rtl_exec_mode,
         )
     return result

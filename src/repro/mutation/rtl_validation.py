@@ -79,19 +79,25 @@ def validate_at_rtl(
     *,
     cycles: int = 24,
     ip_name: str = "ip",
+    exec_mode: str = "compiled",
 ) -> RtlValidationReport:
     """Re-run each mutant at RTL via delayed assignments.
 
     ``drive(sim, cycle_index)`` runs one full testbench cycle (poking
     inputs and advancing the clock via ``sim.cycle(...)``) -- the same
-    stimulus the TLM campaign used.
+    stimulus the TLM campaign used.  ``exec_mode`` selects the kernel
+    execution mode (compiled closures by default; the per-process
+    compilation is memoised, so the one-simulator-per-mutant loop
+    compiles each process exactly once).
     """
     started = time.perf_counter()
     report = RtlValidationReport(
         ip_name=ip_name, sensor_type=augmented.sensor_type
     )
     for spec in mutants:
-        sim = augmented.make_simulation(input_launch_at_edge=True)
+        sim = augmented.make_simulation(
+            input_launch_at_edge=True, exec_mode=exec_mode
+        )
         endpoint = augmented.endpoint_for(spec.register)
         sim.set_transport_delay(endpoint, _rtl_delay_for(spec, augmented))
         risen = False

@@ -40,6 +40,7 @@ from .build import (
     truncate,
     zero_extend,
 )
+from .compile import CompiledProcess, compile_process, compile_stmts
 from .kernel import DeltaOverflowError, Simulation, SimulationError
 from .nextstate import module_next_state, next_state_exprs
 from .trace import WaveRecorder
@@ -55,6 +56,7 @@ __all__ = [
     "array_read", "b_not", "cat", "const", "mux", "red_and", "red_or",
     "red_xor", "replicate", "resize", "sar", "sign_extend", "truncate",
     "zero_extend",
+    "CompiledProcess", "compile_process", "compile_stmts",
     "DeltaOverflowError", "Simulation", "SimulationError",
     "module_next_state", "next_state_exprs",
     "WaveRecorder",

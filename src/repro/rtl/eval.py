@@ -103,7 +103,11 @@ def _eval_unop(expr: Unop, env: EvalEnv) -> LV:
     if op == "red_xor":
         return a.reduce_xor()
     if op == "bool_not":
-        return ~a
+        # Boolean negation of a truth value: OR-reduce to one bit,
+        # then invert.  Bitwise ``~`` coincides only for the 1-bit
+        # operands the IR currently enforces; this form stays correct
+        # if that restriction is ever lifted.
+        return ~a.reduce_or()
     raise AssertionError(op)
 
 

@@ -474,9 +474,14 @@ class Case(Stmt):
 # ----------------------------------------------------------------------
 
 class Process:
-    """Base class for processes."""
+    """Base class for processes.
 
-    __slots__ = ("name",)
+    ``__weakref__`` is included so the per-process compiler
+    (:mod:`repro.rtl.compile`) can memoise compiled closures in a
+    :class:`weakref.WeakKeyDictionary` without keeping dead IR alive.
+    """
+
+    __slots__ = ("name", "__weakref__")
 
     def __init__(self, name: str) -> None:
         self.name = name

@@ -18,12 +18,31 @@ TLM mutation results.
 
 Any number of clocks is supported; the Counter-based sensor adds a
 high-frequency clock whose period divides the main period.
+
+Execution modes
+---------------
+
+``exec_mode="compiled"`` (the default) lowers every ``SyncProcess`` /
+``CombProcess`` to a specialised Python closure at elaboration time
+(:mod:`repro.rtl.compile`), eliminating the per-activation ``EvalEnv``
+construction and recursive ``eval_expr`` dispatch of the interpreter.
+``exec_mode="interpreted"`` keeps the accuracy-first IR walker of
+:mod:`repro.rtl.eval` -- the semantic reference the compiled mode is
+lockstep-tested against, and the mode to force when debugging a
+suspected miscompile.  Native (Python-behaviour) processes run the
+same way in both modes.
+
+The scheduler itself is compiled too: at elaboration every signal and
+array gets a precomputed *wake mask* (one bit per sensitive process),
+so a delta cycle ORs a few ints and walks set bits instead of
+allocating a seen-set and a woken-list per delta.
 """
 
 from __future__ import annotations
 
 import heapq
 
+from .compile import compile_process
 from .eval import EvalEnv, exec_stmts
 from .ir import (
     Array,
@@ -35,12 +54,16 @@ from .ir import (
     SyncProcess,
     process_reads,
 )
-from .types import LV
+from .types import LV, ONEBIT
 
 __all__ = ["Simulation", "SimulationError", "DeltaOverflowError", "NativeCtx"]
 
 #: Safety bound on delta cycles within one time point.
 MAX_DELTA_CYCLES = 1000
+
+#: Shared empty result for commit calls with nothing pending (callers
+#: only read it or ``|=`` it into a mutable set).
+_EMPTY_SET: frozenset = frozenset()
 
 
 class SimulationError(RuntimeError):
@@ -73,9 +96,15 @@ class NativeCtx:
 
 
 class _Clock:
-    """Book-keeping for one clock: value, period and next toggle time."""
+    """Book-keeping for one clock: value, period and next toggle time.
+    ``rise_runners``/``fall_runners`` are filled at elaboration with
+    the pre-bound activation closures of the synchronous processes on
+    each edge."""
 
-    __slots__ = ("signal", "period", "half", "next_toggle", "value")
+    __slots__ = (
+        "signal", "period", "half", "next_toggle", "value",
+        "rise_runners", "fall_runners",
+    )
 
     def __init__(self, signal: Signal, period: int, first_rise: int) -> None:
         if period % 2:
@@ -85,6 +114,8 @@ class _Clock:
         self.half = period // 2
         self.next_toggle = first_rise
         self.value = 0
+        self.rise_runners: tuple = ()
+        self.fall_runners: tuple = ()
 
 
 class Simulation:
@@ -97,6 +128,10 @@ class Simulation:
     clocks:
         Mapping of clock signals to periods in ps.  The first entry is
         the *main* clock that defines :meth:`cycle` boundaries.
+    exec_mode:
+        ``"compiled"`` (default) runs IR processes through closures
+        generated once at elaboration; ``"interpreted"`` runs them
+        through the reference IR walker of :mod:`repro.rtl.eval`.
     """
 
     def __init__(
@@ -106,10 +141,17 @@ class Simulation:
         *,
         init_unknown: bool = False,
         input_launch_at_edge: bool = False,
+        exec_mode: str = "compiled",
     ) -> None:
         if not clocks:
             raise SimulationError("at least one clock is required")
+        if exec_mode not in ("compiled", "interpreted"):
+            raise SimulationError(
+                f"exec_mode must be 'compiled' or 'interpreted', "
+                f"got {exec_mode!r}"
+            )
         self.top = top
+        self.exec_mode = exec_mode
         self.time = 0
         self._seq = 0
         #: When True, ``cycle()`` inputs take effect 1 ps after the next
@@ -148,8 +190,13 @@ class Simulation:
         self._sens_map: dict[Signal, list[Process]] = {}
         self._native_state: dict[int, dict] = {}
         self._comb_procs: list[Process] = []
+        self._compiled: dict[int, object] = {}
         for _, proc in top.all_processes():
             self._register_process(proc)
+            if exec_mode == "compiled" and isinstance(
+                proc, (SyncProcess, CombProcess)
+            ):
+                self._compiled[id(proc)] = compile_process(proc)
 
         # -- scheduling --------------------------------------------------
         self._pending_nba: dict[Signal, LV] = {}
@@ -158,6 +205,10 @@ class Simulation:
         self._delayed: list[tuple[int, int, Signal, LV]] = []
         self._nominal_delay: dict[Signal, int] = {}
         self._injected_delay: dict[Signal, int] = {}
+        self._delays_active = False
+        #: Read-through cell for the compiled strict-commit flag
+        #: (single mutable slot shared by every runner closure).
+        self._strict_cell: list = [False]
 
         # -- instrumentation -----------------------------------------------
         self.stats = {
@@ -168,9 +219,12 @@ class Simulation:
         }
         self._watchers: list = []
 
+        self._finalize_scheduling()
+
         # VHDL semantics: every process executes once at time zero
         # (combinational processes with constant drivers would otherwise
         # never run -- they have empty sensitivity lists).
+        self.stats["process_activations"] += len(self._comb_procs)
         for proc in self._comb_procs:
             self._run_process(proc, set())
         initial_changes = self._commit_pending()
@@ -214,6 +268,112 @@ class Simulation:
         else:
             raise TypeError(f"unknown process type {type(proc)!r}")
 
+    def _make_runner(self, proc: Process):
+        """One pre-bound activation closure per process: the per-call
+        plan lookup, isinstance dispatch and store attribute loads are
+        resolved once at elaboration.  ``self._strict_cell`` is read
+        through on every compiled activation, so flipping transport
+        delays on or off never rebuilds runners."""
+        plan = self._compiled.get(id(proc))
+        if plan is not None:
+            R, A = self._values, self._arrays
+            W, AW = self._pending_nba, self._pending_arrays
+            cell = self._strict_cell
+            body = plan.body
+            if plan.reset is None:
+                def runner(changed) -> None:
+                    body(R, A, W, AW, cell[0])
+                return runner
+            reset_body = plan.reset_body
+            return self._gated_runner(
+                plan.reset, plan.reset_level,
+                lambda: body(R, A, W, AW, cell[0]),
+                lambda: reset_body(R, A, W, AW, cell[0]),
+            )
+        if isinstance(proc, NativeProcess):
+            def native_runner(changed, _proc=proc) -> None:
+                ctx = NativeCtx(
+                    self, self._native_state[id(_proc)], self.time
+                )
+                _proc.fn(ctx)
+            return native_runner
+        if isinstance(proc, SyncProcess) and proc.reset is not None:
+            return self._gated_runner(
+                proc.reset, proc.reset_level,
+                lambda: self._exec_stmts_interpreted(proc.stmts),
+                lambda: self._exec_stmts_interpreted(proc.reset_stmts),
+            )
+
+        def interp_runner(changed, _proc=proc) -> None:
+            self._exec_stmts_interpreted(_proc.stmts)
+        return interp_runner
+
+    def _gated_runner(self, reset_sig, level, body, reset_body):
+        """The single home of the asynchronous-reset gating semantics,
+        shared by both execution modes: active reset runs the reset
+        statements; a wake caused only by reset release (no clock
+        edge) does nothing; otherwise the synchronous body runs."""
+        R = self._values
+
+        def runner(changed) -> None:
+            rst = R[reset_sig]
+            if not rst.unk and rst.value == level:
+                reset_body()
+                return
+            if reset_sig in changed:
+                return
+            body()
+        return runner
+
+    def _finalize_scheduling(self) -> None:
+        """Freeze the registration maps into the hot-path structures:
+        per-process runner closures, edge-runner tuples, and a wake
+        *bitmask* per signal/array (one bit per sensitive process, in
+        first-registration order) so a delta cycle ORs a few ints and
+        walks set bits -- no per-delta seen-set or woken-list."""
+        runner_of: dict[int, object] = {}
+
+        def runner(proc: Process):
+            r = runner_of.get(id(proc))
+            if r is None:
+                r = self._make_runner(proc)
+                runner_of[id(proc)] = r
+            return r
+
+        for procs in self._sync_map.values():
+            for proc in procs:
+                runner(proc)
+        for proc in self._comb_procs:
+            runner(proc)
+
+        self._sync_runners: dict = {
+            key: tuple(runner(p) for p in procs)
+            for key, procs in self._sync_map.items()
+        }
+        for clk in self._clocks.values():
+            clk.rise_runners = self._sync_runners.get(
+                (id(clk.signal), "rise"), ()
+            )
+            clk.fall_runners = self._sync_runners.get(
+                (id(clk.signal), "fall"), ()
+            )
+        proc_bit: dict[int, int] = {}
+        wake_runners: list = []
+        self._wake_mask: dict = {}
+        for key, procs in self._sens_map.items():
+            mask = 0
+            for proc in procs:
+                bit = proc_bit.get(id(proc))
+                if bit is None:
+                    bit = 1 << len(wake_runners)
+                    proc_bit[id(proc)] = bit
+                    wake_runners.append(runner(proc))
+                mask |= bit
+            self._wake_mask[key] = mask
+        self._wake_runners: tuple = tuple(wake_runners)
+        self._runner_map: dict = runner_of
+        self._clock_list: tuple = tuple(self._clocks.values())
+
     # ------------------------------------------------------------------
     # Delay configuration (STA back-annotation and fault injection)
     # ------------------------------------------------------------------
@@ -223,6 +383,7 @@ class Simulation:
         if delay_ps < 0:
             raise SimulationError("delay must be non-negative")
         self._nominal_delay[sig] = delay_ps
+        self._set_delays_active(True)
 
     def inject_extra_delay(self, sig: Signal, delay_ps: int) -> None:
         """Add fault-injection delay on top of the nominal delay
@@ -230,6 +391,7 @@ class Simulation:
         if delay_ps < 0:
             raise SimulationError("delay must be non-negative")
         self._injected_delay[sig] = delay_ps
+        self._set_delays_active(True)
 
     def clear_injection(self, sig: "Signal | None" = None) -> None:
         """Remove one or all injected delays."""
@@ -237,6 +399,17 @@ class Simulation:
             self._injected_delay.clear()
         else:
             self._injected_delay.pop(sig, None)
+        self._set_delays_active(
+            bool(self._nominal_delay or self._injected_delay)
+        )
+
+    def _set_delays_active(self, active: bool) -> None:
+        """Track whether any transport delay is configured; the shared
+        strict cell switches compiled commits between the
+        skip-unchanged fast path and interpreter-exact strict
+        scheduling without rebuilding any runner."""
+        self._delays_active = active
+        self._strict_cell[0] = active
 
     def _total_delay(self, sig: Signal) -> int:
         return self._nominal_delay.get(sig, 0) + self._injected_delay.get(sig, 0)
@@ -253,8 +426,15 @@ class Simulation:
         """Current value as an int with unknowns folded to ``default``."""
         return self._values[sig].to_int_or(default)
 
-    def peek_array(self, arr: Array) -> "list[LV]":
-        return list(self._arrays[arr])
+    def peek_array(self, arr: Array) -> "tuple[LV, ...]":
+        """Snapshot of an array's words (immutable; use
+        :meth:`peek_array_word` inside monitor loops to avoid the
+        whole-array copy per call)."""
+        return tuple(self._arrays[arr])
+
+    def peek_array_word(self, arr: Array, index: int) -> LV:
+        """Current value of one array word (no copy)."""
+        return self._arrays[arr][index]
 
     def poke(self, sig: Signal, value: "LV | int") -> None:
         """Drive a primary input immediately and settle delta cycles."""
@@ -277,6 +457,11 @@ class Simulation:
         injection; bypasses drivers for one delta)."""
         if isinstance(value, int):
             value = LV.from_int(sig.width, value)
+        if value.width != sig.width:
+            raise SimulationError(
+                f"force width mismatch on {sig.name}: "
+                f"{value.width} != {sig.width}"
+            )
         if self._values[sig] != value:
             self._values[sig] = value
             self._settle_deltas({sig})
@@ -299,34 +484,22 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def _run_process(self, proc: Process, changed: "set[Signal]") -> None:
-        """Execute one process activation, buffering its writes."""
-        self.stats["process_activations"] += 1
-        if isinstance(proc, NativeProcess):
-            ctx = NativeCtx(self, self._native_state[id(proc)], self.time)
-            proc.fn(ctx)
-            return
+        """Execute one process activation, buffering its writes.
+        Delegates to the pre-bound runner (the single home of the
+        compiled-plan / reset-gating logic).  ``process_activations``
+        is counted in bulk by the schedulers that decide to activate,
+        not here."""
+        self._runner_map[id(proc)](changed)
+
+    def _exec_stmts_interpreted(self, stmts) -> None:
+        """Reference execution of one statement list through the IR
+        walker of :mod:`repro.rtl.eval`, flushing the collected writes
+        into the kernel's non-blocking buffers."""
         env = EvalEnv(
             read=self._values.__getitem__,
             read_array=self._arrays.__getitem__,
         )
-        if isinstance(proc, SyncProcess):
-            if proc.reset is not None:
-                rst = self._values[proc.reset]
-                active = (
-                    not rst.unk and rst.value == proc.reset_level
-                )
-                if active:
-                    exec_stmts(proc.reset_stmts, env)
-                elif proc.reset in changed:
-                    # Woken only by reset release: no clock edge, nothing
-                    # to do for the synchronous body.
-                    return
-                else:
-                    exec_stmts(proc.stmts, env)
-            else:
-                exec_stmts(proc.stmts, env)
-        else:
-            exec_stmts(proc.stmts, env)
+        exec_stmts(stmts, env)
         for sig, value in env.sig_writes.items():
             self._pending_nba[sig] = value
         self._pending_arrays.extend(env.array_writes)
@@ -335,48 +508,87 @@ class Simulation:
         """Commit buffered writes; returns the set of changed signals.
         Writes to signals with a configured transport delay are moved
         to the delayed-event heap instead."""
+        if not (
+            self._pending_nba or self._pending_native
+            or self._pending_arrays
+        ):
+            return _EMPTY_SET
         changed: set[Signal] = set()
+        values = self._values
+        delays = self._delays_active
         for store in (self._pending_nba, self._pending_native):
-            for sig, value in store.items():
-                delay = self._total_delay(sig)
-                if delay:
-                    self._seq += 1
-                    heapq.heappush(
-                        self._delayed,
-                        (self.time + delay, self._seq, sig, value),
-                    )
-                    continue
-                if self._values[sig] != value:
-                    self._values[sig] = value
-                    changed.add(sig)
+            if not store:
+                continue
+            if delays:
+                for sig, value in store.items():
+                    delay = self._total_delay(sig)
+                    if delay:
+                        self._seq += 1
+                        heapq.heappush(
+                            self._delayed,
+                            (self.time + delay, self._seq, sig, value),
+                        )
+                        continue
+                    cur = values[sig]
+                    if (
+                        cur is not value
+                        and (cur.value != value.value
+                             or cur.unk != value.unk)
+                    ):
+                        values[sig] = value
+                        changed.add(sig)
+            else:
+                # Inline plane comparison: widths are equal by
+                # construction, so "did it change" is two int compares
+                # (or one identity hit for interned 1-bit values).
+                for sig, value in store.items():
+                    cur = values[sig]
+                    if cur is not value and (
+                        cur.value != value.value or cur.unk != value.unk
+                    ):
+                        values[sig] = value
+                        changed.add(sig)
             store.clear()
-        for arr, index, value in self._pending_arrays:
-            if not index.unk and index.value < arr.depth:
-                if self._arrays[arr][index.value] != value:
-                    self._arrays[arr][index.value] = value
-                    changed.add(arr)
-        self._pending_arrays.clear()
+        if self._pending_arrays:
+            arrays = self._arrays
+            for arr, index, value in self._pending_arrays:
+                if not index.unk and index.value < arr.depth:
+                    words = arrays[arr]
+                    if words[index.value] != value:
+                        words[index.value] = value
+                        changed.add(arr)
+            self._pending_arrays.clear()
         self.stats["events"] += len(changed)
         return changed
 
     def _settle_deltas(self, changed: "set[Signal]") -> None:
-        """Run combinational processes to a fixpoint (delta cycles)."""
+        """Run combinational processes to a fixpoint (delta cycles).
+
+        Wake-up is mask-based: each changed signal/array contributes a
+        precomputed bitmask of sensitive processes, so one delta costs
+        a few int ORs plus a set-bit walk -- no per-delta seen-set or
+        woken-list allocation."""
+        wake_of = self._wake_mask.get
+        runners = self._wake_runners
+        stats = self.stats
+        commit = self._commit_pending
         for _ in range(MAX_DELTA_CYCLES):
             if not changed:
                 return
-            woken: list[Process] = []
-            seen: set[int] = set()
+            mask = 0
             for sig in changed:
-                for proc in self._sens_map.get(sig, ()):
-                    if id(proc) not in seen:
-                        seen.add(id(proc))
-                        woken.append(proc)
-            if not woken:
+                bits = wake_of(sig)
+                if bits:
+                    mask |= bits
+            if not mask:
                 return
-            self.stats["delta_cycles"] += 1
-            for proc in woken:
-                self._run_process(proc, changed)
-            changed = self._commit_pending()
+            stats["delta_cycles"] += 1
+            stats["process_activations"] += mask.bit_count()
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                runners[low.bit_length() - 1](changed)
+            changed = commit()
         raise DeltaOverflowError(
             f"combinational logic did not settle at t={self.time} ps"
         )
@@ -398,23 +610,29 @@ class Simulation:
         self.time = t
 
         changed = self._apply_delayed_at(t)
-        edge_procs: list[Process] = []
+        edge_runners: tuple = ()
 
-        for clk in self._clocks.values():
+        for clk in self._clock_list:
             if clk.next_toggle == t:
                 clk.value ^= 1
-                new = LV.from_int(1, clk.value)
-                self._values[clk.signal] = new
+                # ONEBIT[(v << 1)]: interned 1-bit values, no per-edge
+                # allocation for clock toggles.
+                self._values[clk.signal] = ONEBIT[clk.value << 1]
                 changed.add(clk.signal)
-                edge = "rise" if clk.value else "fall"
-                edge_procs.extend(
-                    self._sync_map.get((id(clk.signal), edge), ())
+                runners = (
+                    clk.rise_runners if clk.value else clk.fall_runners
                 )
+                if runners:
+                    edge_runners = (
+                        runners if not edge_runners
+                        else edge_runners + runners
+                    )
                 clk.next_toggle = t + clk.half
 
-        if edge_procs:
-            for proc in edge_procs:
-                self._run_process(proc, changed)
+        if edge_runners:
+            self.stats["process_activations"] += len(edge_runners)
+            for runner in edge_runners:
+                runner(changed)
             changed |= self._commit_pending()
 
         self._settle_deltas(changed)
@@ -422,10 +640,16 @@ class Simulation:
             callback(self, t)
 
     def _next_event_time(self) -> "int | None":
-        candidates = [clk.next_toggle for clk in self._clocks.values()]
+        t = None
+        for clk in self._clock_list:
+            nt = clk.next_toggle
+            if t is None or nt < t:
+                t = nt
         if self._delayed:
-            candidates.append(self._delayed[0][0])
-        return min(candidates) if candidates else None
+            dt = self._delayed[0][0]
+            if t is None or dt < t:
+                t = dt
+        return t
 
     def run_until(self, t_stop: int) -> None:
         """Process every event with time <= ``t_stop``."""

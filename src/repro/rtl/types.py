@@ -37,6 +37,7 @@ __all__ = [
     "LX",
     "LZ",
     "LV",
+    "ONEBIT",
     "resolve",
 ]
 
@@ -151,6 +152,8 @@ class LV:
     def from_int(width: int, value: int) -> "LV":
         """Build a fully-defined vector from a Python int (two's complement
         wrap for negatives)."""
+        if width == 1:
+            return ONEBIT[(value & 1) << 1]
         return LV(width, value & _mask(width), 0)
 
     @staticmethod
@@ -169,6 +172,8 @@ class LV:
     @staticmethod
     def all_x(width: int) -> "LV":
         """A vector with every bit unknown."""
+        if width == 1:
+            return ONEBIT[1]  # X
         m = _mask(width)
         return LV(width, 0, m)
 
@@ -249,6 +254,16 @@ class LV:
             return self.unk == 0 and self.value == other & _mask(self.width)
         return NotImplemented
 
+    def __ne__(self, other: object) -> bool:
+        # Identity fast path: interned 1-bit values make the kernel's
+        # hot "did this signal change" checks an ``is`` comparison.
+        if self is other:
+            return False
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
     def __hash__(self) -> int:
         return hash((self.width, self.value, self.unk))
 
@@ -317,26 +332,26 @@ class LV:
         one, zero, unk = self._planes()
         m = _mask(self.width)
         if zero:  # any hard 0 dominates
-            return LV(1, 0, 0)
+            return ONEBIT[0]
         if one == m:
-            return LV(1, 1, 0)
-        return LV(1, 0, 1)
+            return ONEBIT[2]
+        return ONEBIT[1]
 
     def reduce_or(self) -> "LV":
         """OR of all bits (1-bit result, ``X`` if undetermined)."""
         one, zero, unk = self._planes()
         m = _mask(self.width)
         if one:  # any hard 1 dominates
-            return LV(1, 1, 0)
+            return ONEBIT[2]
         if zero == m:
-            return LV(1, 0, 0)
-        return LV(1, 0, 1)
+            return ONEBIT[0]
+        return ONEBIT[1]
 
     def reduce_xor(self) -> "LV":
         """XOR of all bits (1-bit result, ``X`` if any bit unknown)."""
         if self.unk:
-            return LV(1, 0, 1)
-        return LV(1, bin(self.value).count("1") & 1, 0)
+            return ONEBIT[1]
+        return ONEBIT[(bin(self.value).count("1") & 1) << 1]
 
     # ------------------------------------------------------------------
     # Arithmetic (contaminating semantics)
@@ -414,12 +429,12 @@ class LV:
     def _compare(self, other: "LV", op, signed: bool = False) -> "LV":
         self._require_same_width(other)
         if self.unk or other.unk:
-            return LV(1, 0, 1)
+            return ONEBIT[1]
         if signed:
             a, b = self.to_int_signed(), other.to_int_signed()
         else:
             a, b = self.value, other.value
-        return LV(1, 1 if op(a, b) else 0, 0)
+        return ONEBIT[2 if op(a, b) else 0]
 
     def eq(self, other: "LV") -> "LV":
         return self._compare(other, lambda a, b: a == b)
@@ -504,3 +519,35 @@ class LV:
             value |= b.value << i
             unk |= b.unk << i
         return LV(self.width, value, unk)
+
+
+def lv_raw(
+    width: int,
+    value: int,
+    unk: int,
+    _new=object.__new__,
+    _set=object.__setattr__,
+) -> "LV":
+    """Construct an ``LV`` from already-masked planes, bypassing the
+    re-masking and width validation of ``__init__``.  Internal fast
+    path for the process compiler's commit sites, which maintain the
+    plane invariants themselves."""
+    lv = _new(LV)
+    _set(lv, "width", width)
+    _set(lv, "value", value)
+    _set(lv, "unk", unk)
+    return lv
+
+
+#: Interned 1-bit vectors, indexed by ``(value << 1) | unk``:
+#: ``0 -> '0'``, ``1 -> 'X'``, ``2 -> '1'``, ``3 -> 'Z'``.  One-bit
+#: values (clock phases, enables, flags, comparison results) dominate
+#: the kernel's allocation profile, and ``LV`` equality is structural,
+#: so sharing the four instances is safe and turns most hot-path
+#: ``!=`` checks into identity checks that fail fast.
+ONEBIT: "tuple[LV, LV, LV, LV]" = (
+    LV(1, 0, 0),
+    LV(1, 0, 1),
+    LV(1, 1, 0),
+    LV(1, 1, 1),
+)
