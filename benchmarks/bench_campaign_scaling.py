@@ -12,21 +12,38 @@ of the same mutation campaign:
 * ``engine xN``   -- the engine with N worker processes
   (``--workers``, default 4).
 
-The engine's outcome list is also checked for byte-identity between
-the serial and parallel runs (the determinism guarantee).
+Then measures the whole cross-IP *suite* (every benchmarked IP x both
+sensor types) two ways with the same worker count:
+
+* ``per-campaign pools`` -- the pre-scheduler lifecycle: each
+  campaign spins up, uses, and tears down its own
+  ``ProcessPoolExecutor`` in sequence;
+* ``shared pool``       -- ``run_benchmark_suite`` on one persistent
+  :class:`repro.mutation.CampaignScheduler`: the pool is created
+  once, each campaign's shards enter the shared queue as soon as that
+  campaign is prepared (prep overlaps execution), and small campaigns
+  backfill slots the big ones leave idle.
+
+The engine's outcome list is checked for byte-identity between the
+serial, parallel, and shared-pool suite runs (the determinism
+guarantee).  ``--out FILE`` writes the measurements as JSON
+(``BENCH_campaign.json`` in CI).
 
 Usage::
 
     python benchmarks/bench_campaign_scaling.py [--quick] [--workers N]
         [--sensor razor|counter] [--ips plasma,dsp,filter] [--cycles C]
+        [--out BENCH_campaign.json]
 
-``--quick`` restricts the run to a short Plasma campaign (the CI smoke
+``--quick`` restricts the per-IP section to a short Plasma campaign
+and the suite section to short testbenches (the CI smoke
 configuration).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -37,6 +54,10 @@ sys.path.insert(
 
 from repro.flow import run_flow                              # noqa: E402
 from repro.ips import CASE_STUDIES, case_study               # noqa: E402
+from repro.mutation import (                                 # noqa: E402
+    CampaignScheduler,
+    run_benchmark_suite,
+)
 from repro.mutation.analysis import (                        # noqa: E402
     _run_counter_mutant,
     _run_razor_mutant,
@@ -122,10 +143,70 @@ def bench_ip(name, sensor, workers, cycles):
     }
 
 
+def bench_suite(ips, workers, cycles, sensors=("razor", "counter")):
+    """Suite-level measurement: per-campaign pools vs one shared pool.
+
+    Flow setup (characterise/insert/abstract/inject) is built once and
+    reused by both strategies, so the comparison isolates the campaign
+    scheduling: N sequential ``run_campaign`` calls that each own a
+    fresh ``ProcessPoolExecutor`` against one ``run_benchmark_suite``
+    on a persistent ``CampaignScheduler``.
+    """
+    specs = {name: case_study(name) for name in ips}
+    flows = {
+        (name, sensor): run_flow(specs[name], sensor, run_mutation=False)
+        for name in ips
+        for sensor in sensors
+    }
+
+    # Baseline: today's lifecycle -- one pool per campaign, campaigns
+    # strictly in sequence.
+    started = time.perf_counter()
+    baseline = {}
+    for (name, sensor), flow in flows.items():
+        spec = specs[name]
+        stimuli = spec.stimulus(cycles or spec.mutation_cycles)
+        baseline[(name, sensor)] = run_campaign(
+            flow.golden_factory(), flow.injected, stimuli,
+            ip_name=name, sensor_type=sensor, workers=workers,
+        )
+    per_campaign_s = time.perf_counter() - started
+
+    # Shared pool: one scheduler for the whole suite, shards
+    # interleaved across campaigns.
+    started = time.perf_counter()
+    with CampaignScheduler(workers=workers) as scheduler:
+        suite = run_benchmark_suite(
+            list(specs.values()), sensors,
+            workers=workers, mutation_cycles=cycles,
+            scheduler=scheduler, flows=flows,
+        )
+    shared_s = time.perf_counter() - started
+
+    deterministic = all(
+        suite.reports[key].outcomes == baseline[key].outcomes
+        for key in baseline
+    )
+    total = sum(r.total for r in baseline.values())
+    return {
+        "campaigns": len(baseline),
+        "mutants": total,
+        "workers": workers,
+        "per_campaign_pools_s": per_campaign_s,
+        "per_campaign_pools_mps": total / per_campaign_s
+        if per_campaign_s else 0.0,
+        "shared_pool_s": shared_s,
+        "shared_pool_mps": total / shared_s if shared_s else 0.0,
+        "speedup": per_campaign_s / shared_s if shared_s else 0.0,
+        "deterministic": deterministic,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
-                        help="CI smoke: short Plasma campaign only")
+                        help="CI smoke: short Plasma per-IP campaign + "
+                             "short-testbench suite")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--sensor", choices=["razor", "counter"],
                         default="razor")
@@ -133,20 +214,27 @@ def main(argv=None) -> int:
                         help="comma-separated IP subset (default: all)")
     parser.add_argument("--cycles", type=int, default=None,
                         help="testbench cycles (default: per-IP value)")
+    parser.add_argument("--out", default=None,
+                        help="write measurements to this JSON file "
+                             "(e.g. BENCH_campaign.json)")
     args = parser.parse_args(argv)
 
     if args.quick:
         ips = ["plasma"]
         cycles = args.cycles or 32
+        suite_ips = list(CASE_STUDIES)
+        suite_cycles = args.cycles or 32
     else:
         ips = (args.ips.split(",") if args.ips else list(CASE_STUDIES))
         cycles = args.cycles
+        suite_ips = ips
+        suite_cycles = cycles
 
     rows = []
-    ok = True
+    per_ip = []
     for name in ips:
         r = bench_ip(name, args.sensor, args.workers, cycles)
-        ok &= r["deterministic"]
+        per_ip.append(r)
         rows.append([
             r["ip"], r["mutants"], r["cycles"],
             f"{r['legacy_mps']:.1f}",
@@ -170,11 +258,49 @@ def main(argv=None) -> int:
             "mutant; speedups are vs legacy)"
         ),
     ))
-    if not ok:
+
+    suite = bench_suite(suite_ips, args.workers, suite_cycles)
+    print()
+    print(format_table(
+        ["Campaigns", "Mutants",
+         "per-campaign pools (s)", "shared pool (s)",
+         "suite speedup", "deterministic"],
+        [[
+            suite["campaigns"], suite["mutants"],
+            f"{suite['per_campaign_pools_s']:.2f}",
+            f"{suite['shared_pool_s']:.2f}",
+            f"{suite['speedup']:.2f}x",
+            "yes" if suite["deterministic"] else "NO",
+        ]],
+        title=(
+            f"Cross-IP suite ({len(suite_ips)} IPs x razor+counter, "
+            f"workers={args.workers}): one pool per campaign vs one "
+            "shared scheduler pool"
+        ),
+    ))
+
+    if args.out:
+        payload = {
+            "quick": args.quick,
+            "workers": args.workers,
+            "sensor": args.sensor,
+            "per_ip": per_ip,
+            "suite": suite,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+
+    per_ip_ok = all(r["deterministic"] for r in per_ip)
+    suite_ok = suite["deterministic"]
+    if not per_ip_ok:
         print("ERROR: parallel report diverged from serial report",
               file=sys.stderr)
-        return 1
-    return 0
+    if not suite_ok:
+        print("ERROR: shared-pool suite report diverged from the "
+              "per-campaign-pool reports", file=sys.stderr)
+    return 0 if per_ip_ok and suite_ok else 1
 
 
 if __name__ == "__main__":

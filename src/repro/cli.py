@@ -14,7 +14,17 @@ Commands
     deterministic for any worker count); ``--shard-size`` overrides
     the automatic one-shard-per-worker batching; ``--cycles``
     overrides the testbench length.  Prints campaign throughput
-    (mutants/sec) alongside the Table-5 percentages.
+    (mutants/sec) alongside the Table-5 percentages.  Timed-out
+    (stall-budget-truncated) runs are excluded from every percentage
+    and called out separately in the summary.
+``bench [--ips a,b] [--sensors razor,counter] [--workers N] ...``
+    Run the whole cross-IP campaign suite (every selected IP x sensor
+    type) on one shared persistent worker pool through the streaming
+    scheduler (:mod:`repro.mutation.scheduler`), with live per-shard
+    progress lines.  Each campaign's shards enter the shared queue as
+    soon as it is prepared, so small campaigns backfill pool slots
+    left idle by big ones; the per-campaign reports stay deterministic
+    (identical to standalone ``mutate`` runs).
 ``timing <ip> <sensor> [cycles] [--rtl-exec compiled|interpreted]``
     Measure the RTL / TLM / optimised-TLM simulation times on the IP's
     testbench workload.  ``--rtl-exec both`` additionally times the
@@ -32,7 +42,7 @@ import sys
 
 from repro.flow import run_flow, speedup, time_rtl, time_tlm
 from repro.ips import CASE_STUDIES, case_study
-from repro.reporting import format_kv, format_table
+from repro.reporting import format_kv, format_table, mutation_summary_pairs
 
 __all__ = ["main"]
 
@@ -65,14 +75,14 @@ def _cmd_flow(args) -> int:
         ("TLM loc (sctypes / hdtlib / injected)",
          f"{result.tlm_standard.loc} / {result.tlm_optimized.loc} / "
          f"{result.injected.loc}"),
-        ("mutants", report.total),
-        ("killed", f"{report.killed_pct:.1f}%"),
-        ("corrected", f"{report.corrected_pct:.1f}%"
-         if report.corrected_pct is not None else "n.a."),
-        ("errors risen", f"{report.risen_pct:.1f}%"),
+    ] + mutation_summary_pairs(report) + [
         ("campaign time", f"{report.seconds:.2f} s"),
     ]))
-    return 0 if report.killed_pct == 100.0 else 1
+    # Success demands a clean campaign: every judged mutant killed
+    # AND no run truncated by the stall budget (a timed-out mutant
+    # was never fully driven, so it must not grant a green exit).
+    return 0 if report.killed_pct == 100.0 and \
+        report.timed_out_count == 0 else 1
 
 
 def _cmd_mutate(args) -> int:
@@ -88,19 +98,95 @@ def _cmd_mutate(args) -> int:
     print(format_kv([
         ("IP", spec.title),
         ("sensor type", args.sensor),
-        ("mutants", report.total),
         ("testbench cycles", report.cycles_per_run),
         ("workers", args.workers),
         ("shard size", args.shard_size if args.shard_size else "auto"),
-        ("killed", f"{report.killed_pct:.1f}%"),
-        ("corrected", f"{report.corrected_pct:.1f}%"
-         if report.corrected_pct is not None else "n.a."),
-        ("errors risen", f"{report.risen_pct:.1f}%"),
-        ("timed out", report.timed_out_count),
+    ] + mutation_summary_pairs(report) + [
         ("campaign time", f"{report.seconds:.2f} s"),
         ("throughput", f"{report.mutants_per_second:.2f} mutants/s"),
     ]))
-    return 0 if report.killed_pct == 100.0 else 1
+    # Success demands a clean campaign: every judged mutant killed
+    # AND no run truncated by the stall budget (a timed-out mutant
+    # was never fully driven, so it must not grant a green exit).
+    return 0 if report.killed_pct == 100.0 and \
+        report.timed_out_count == 0 else 1
+
+
+def _progress_printer(stream):
+    """Live per-shard progress lines for the streaming scheduler."""
+
+    def emit(p):
+        flag = "  [aborted]" if p.aborted else ""
+        print(
+            f"  {p.ip_name}/{p.sensor_type}: "
+            f"{p.done}/{p.total} mutants "
+            f"(shard {p.shards_done}/{p.shards_total}) "
+            f"killed={p.killed} survivors={p.survivors} "
+            f"timed_out={p.timed_out}{flag}",
+            file=stream,
+            flush=True,
+        )
+
+    return emit
+
+
+def _cmd_bench(args) -> int:
+    from repro.mutation import CampaignScheduler, run_benchmark_suite
+
+    ips = args.ips.split(",") if args.ips else sorted(CASE_STUDIES)
+    sensors = args.sensors.split(",")
+    for ip in ips:
+        if ip not in CASE_STUDIES:
+            print(f"error: unknown IP {ip!r} (choose from "
+                  f"{', '.join(sorted(CASE_STUDIES))})", file=sys.stderr)
+            return 2
+    for sensor in sensors:
+        if sensor not in ("razor", "counter"):
+            print(f"error: unknown sensor type {sensor!r} "
+                  "(choose from razor, counter)", file=sys.stderr)
+            return 2
+    progress = None if args.no_progress else _progress_printer(sys.stdout)
+    with CampaignScheduler(workers=args.workers) as scheduler:
+        suite = run_benchmark_suite(
+            ips,
+            sensors,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            mutation_cycles=args.cycles,
+            scheduler=scheduler,
+            progress=progress,
+        )
+    rows = []
+    for (ip, sensor), report in sorted(suite.reports.items()):
+        rows.append([
+            ip, sensor, report.effective_total, report.total,
+            f"{report.killed_pct:.1f}%",
+            f"{report.corrected_pct:.1f}%"
+            if report.corrected_pct is not None else "n.a.",
+            f"{report.risen_pct:.1f}%",
+            report.timed_out_count,
+            f"{report.seconds:.2f}",
+        ])
+    print(format_table(
+        ["IP", "sensor", "judged", "mutants", "killed", "corrected",
+         "errors risen", "timed out (excl.)", "time (s)"],
+        rows,
+        title=(
+            f"Cross-IP campaign suite: {len(suite.reports)} campaigns "
+            f"on one shared pool (workers={suite.workers}); percentages "
+            "exclude timed-out runs"
+        ),
+    ))
+    print(format_kv([
+        ("campaigns", len(suite.reports)),
+        ("mutants", suite.total_mutants),
+        ("suite time", f"{suite.seconds:.2f} s"),
+        ("campaign time (shared pool)", f"{suite.campaign_seconds:.2f} s"),
+        ("throughput", f"{suite.mutants_per_second:.2f} mutants/s"),
+    ]))
+    # Same gate as mutate/flow: 100% of judged mutants killed in every
+    # campaign AND no stall-budget truncations anywhere in the suite.
+    return 0 if suite.all_killed and suite.timed_out_count == 0 else 1
 
 
 def _cmd_timing(args) -> int:
@@ -191,6 +277,33 @@ def main(argv: "list[str] | None" = None) -> int:
     p_mut.add_argument("--cycles", type=int, default=None,
                        help="testbench cycles (default: per-IP value)")
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the cross-IP campaign suite on one shared worker pool",
+        description=(
+            "Run every selected IP x sensor-type mutation campaign as "
+            "one suite through the streaming scheduler: all shards "
+            "share a single persistent worker pool (small campaigns "
+            "backfill idle slots, campaign preparation overlaps shard "
+            "execution), with live per-shard progress lines.  Reported "
+            "percentages exclude timed-out (stall-budget-truncated) "
+            "runs."
+        ),
+    )
+    p_bench.add_argument("--ips", default=None,
+                         help="comma-separated IP subset (default: all)")
+    p_bench.add_argument("--sensors", default="razor,counter",
+                         help="comma-separated sensor types "
+                              "(default: razor,counter)")
+    p_bench.add_argument("--workers", type=int, default=4,
+                         help="shared-pool worker processes (default: 4)")
+    p_bench.add_argument("--shard-size", type=int, default=None,
+                         help="mutants per shard (default: auto)")
+    p_bench.add_argument("--cycles", type=int, default=None,
+                         help="testbench cycles (default: per-IP value)")
+    p_bench.add_argument("--no-progress", action="store_true",
+                         help="suppress the live per-shard progress lines")
+
     p_time = sub.add_parser("timing", help="RTL vs TLM simulation speed")
     p_time.add_argument("ip", choices=sorted(CASE_STUDIES))
     p_time.add_argument("sensor", choices=["razor", "counter"])
@@ -215,6 +328,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "list": _cmd_list,
         "flow": _cmd_flow,
         "mutate": _cmd_mutate,
+        "bench": _cmd_bench,
         "timing": _cmd_timing,
         "emit": _cmd_emit,
     }[args.command]

@@ -83,13 +83,19 @@ def run_flow(
     rtl_validation_cycles: "int | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
+    scheduler=None,
     rtl_exec_mode: str = "compiled",
 ) -> FlowResult:
     """Execute the full methodology for one IP and sensor type.
 
     ``workers`` / ``shard_size`` are forwarded to the sharded mutation-
     campaign engine (:mod:`repro.mutation.campaign`); the report is
-    deterministic for any worker count.  ``rtl_exec_mode`` selects the
+    deterministic for any worker count.  ``scheduler`` (a
+    :class:`repro.mutation.CampaignScheduler`) lets many ``run_flow``
+    calls share one persistent campaign worker pool instead of paying
+    a pool spin-up per call -- the cross-IP batching entry point
+    :func:`repro.mutation.run_benchmark_suite` builds on exactly this.
+    ``rtl_exec_mode`` selects the
     RTL kernel execution mode for every event-driven simulation the
     flow runs (``"compiled"`` closures by default, ``"interpreted"``
     for the reference IR walker -- see :mod:`repro.rtl.compile`).
@@ -155,6 +161,7 @@ def run_flow(
             recovery=True,
             workers=workers,
             shard_size=shard_size,
+            scheduler=scheduler,
         )
 
     if run_rtl_validation:

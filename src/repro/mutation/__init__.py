@@ -1,17 +1,33 @@
 """Delay mutants: ADAM injection, TLM campaign, RTL cross-validation.
 
 Campaign execution goes through the sharded engine in
-:mod:`repro.mutation.campaign`: the golden stimulus run is memoised
+:mod:`repro.mutation.campaign` and the streaming cross-IP scheduler in
+:mod:`repro.mutation.scheduler`: the golden stimulus run is memoised
 once per campaign (it is mutant-independent), mutants are batched into
-shards so the generated-model source is compiled once per shard, and a
-``workers`` knob distributes the shards across a
-:class:`concurrent.futures.ProcessPoolExecutor` -- ``workers=1`` runs
-inline, ``workers=N`` shards across ``N`` processes with a
-deterministic, order-independent merge (byte-identical
-:class:`MutationReport` for any worker count).
-:func:`run_mutation_analysis` keeps the historical signature and
-forwards to :func:`repro.mutation.campaign.run_campaign`; both accept
-``workers=`` / ``shard_size=``.
+shards so the generated-model source is compiled once per shard, and
+shards execute on a persistent :class:`CampaignScheduler` worker pool
+-- ``workers=1`` runs inline, ``workers=N`` shards across ``N``
+processes with a deterministic merge (byte-identical
+:class:`MutationReport` for any worker count, any shard size, and
+shared or ephemeral pools).
+
+Three consumption styles share that machinery:
+
+* :func:`run_campaign` / :func:`run_mutation_analysis` -- blocking,
+  one merged report per campaign (the historical signatures, now with
+  ``scheduler=`` / ``progress=``);
+* :func:`iter_campaign` -- streaming: yields each
+  :class:`MutantOutcome` as its shard completes, with
+  :class:`CampaignProgress` callbacks and :class:`AbortPolicy`
+  early-abort (first survivor / score threshold);
+* :func:`run_benchmark_suite` -- cross-IP batching: every
+  ``IP x sensor type`` campaign prepared up front, shards interleaved
+  round-robin on one shared pool so small campaigns backfill idle
+  slots.
+
+Score accounting excludes timed-out (stall-budget-truncated) runs from
+every aggregate percentage -- see
+:class:`repro.mutation.analysis.MutationReport.effective_total`.
 """
 
 from .adam import delta_tick_plan, inject_mutants
@@ -23,13 +39,28 @@ from .analysis import (
     compute_golden_trace,
     run_mutation_analysis,
 )
-from .campaign import CampaignShard, run_campaign, shard_indices
+from .campaign import (
+    CampaignShard,
+    PreparedCampaign,
+    prepare_campaign,
+    resolve_tap_order,
+    run_campaign,
+    shard_indices,
+)
 from .rtl_validation import (
     RtlMutantOutcome,
     RtlValidationReport,
     validate_at_rtl,
 )
 from .saboteurs import Saboteur, insert_saboteur
+from .scheduler import (
+    AbortPolicy,
+    CampaignProgress,
+    CampaignScheduler,
+    SuiteResult,
+    iter_campaign,
+    run_benchmark_suite,
+)
 
 __all__ = [
     "Saboteur",
@@ -43,8 +74,17 @@ __all__ = [
     "compute_golden_trace",
     "run_mutation_analysis",
     "CampaignShard",
+    "PreparedCampaign",
+    "prepare_campaign",
+    "resolve_tap_order",
     "run_campaign",
     "shard_indices",
+    "AbortPolicy",
+    "CampaignProgress",
+    "CampaignScheduler",
+    "SuiteResult",
+    "iter_campaign",
+    "run_benchmark_suite",
     "RtlMutantOutcome",
     "RtlValidationReport",
     "validate_at_rtl",

@@ -25,7 +25,22 @@ The golden stream depends only on the stimuli (and the recovery
 setting), never on the active mutant, so it is computed **once per
 campaign** as a :class:`GoldenTrace` and shared by every per-mutant
 run.  :func:`run_mutation_analysis` is a thin compatibility wrapper
-over the sharded engine in :mod:`repro.mutation.campaign`.
+over the sharded engine in :mod:`repro.mutation.campaign`, which in
+turn executes through the streaming cross-IP scheduler in
+:mod:`repro.mutation.scheduler`.
+
+Score accounting
+----------------
+A run that exhausts its stall budget (``MutantOutcome.timed_out``) was
+truncated by the driver, not judged: its tail is not kill evidence, and
+treating it as a survivor silently deflates the campaign score.  All
+aggregate percentages (``killed_pct`` / ``detected_pct`` / ``risen_pct``
+/ ``mutation_score``) therefore exclude timed-out outcomes entirely and
+divide by :attr:`MutationReport.effective_total` (the judged runs).
+The exclusion is surfaced by :func:`repro.reporting.mutation_summary_pairs`
+and the ``repro mutate`` / ``repro bench`` CLI summaries; the raw
+per-outcome verdicts (including a divergence observed *before* a
+timeout) remain available on :attr:`MutationReport.outcomes`.
 """
 
 from __future__ import annotations
@@ -83,17 +98,34 @@ class MutationReport:
     def total(self) -> int:
         return len(self.outcomes)
 
+    def judged(self) -> "list[MutantOutcome]":
+        """Outcomes whose verdict counts toward the aggregate score:
+        runs that completed within the stall budget.  A timed-out run
+        was truncated by the driver, so it can neither be scored as a
+        kill nor as a survivor (counting it in the denominator would
+        silently under-report the score)."""
+        return [o for o in self.outcomes if not o.timed_out]
+
+    @property
+    def effective_total(self) -> int:
+        """Denominator of every aggregate percentage: mutants whose
+        runs completed (``total`` minus ``timed_out_count``)."""
+        return self.total - self.timed_out_count
+
     @property
     def killed_pct(self) -> float:
-        return _pct(sum(o.killed for o in self.outcomes), self.total)
+        judged = self.judged()
+        return _pct(sum(o.killed for o in judged), len(judged))
 
     @property
     def detected_pct(self) -> float:
-        return _pct(sum(o.detected for o in self.outcomes), self.total)
+        judged = self.judged()
+        return _pct(sum(o.detected for o in judged), len(judged))
 
     @property
     def risen_pct(self) -> float:
-        return _pct(sum(o.error_risen for o in self.outcomes), self.total)
+        judged = self.judged()
+        return _pct(sum(o.error_risen for o in judged), len(judged))
 
     @property
     def corrected_pct(self) -> "float | None":
@@ -113,12 +145,15 @@ class MutationReport:
 
     @property
     def mutation_score(self) -> float:
-        """Killed over total non-equivalent mutants (all delay mutants
-        on exercised paths are non-equivalent by construction)."""
+        """Killed over judged non-equivalent mutants (all delay mutants
+        on exercised paths are non-equivalent by construction; timed-out
+        runs are excluded -- see :meth:`judged`)."""
         return self.killed_pct
 
     def survivors(self) -> "list[MutantOutcome]":
-        return [o for o in self.outcomes if not o.killed]
+        """Judged mutants that were not killed.  Timed-out runs are not
+        survivors -- they were never fully driven."""
+        return [o for o in self.judged() if not o.killed]
 
 
 def _pct(num: int, den: int) -> float:
@@ -193,20 +228,27 @@ def run_mutation_analysis(
     tap_order: "list[str] | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
+    scheduler=None,
+    progress=None,
 ) -> MutationReport:
     """Run the full campaign: one golden/injected pair per mutant.
 
     Compatibility wrapper over
     :func:`repro.mutation.campaign.run_campaign`: the golden stimulus
     run is memoised once per campaign, mutants are batched into shards,
-    and ``workers > 1`` distributes the shards across worker processes.
+    and ``workers > 1`` distributes the shards across worker processes
+    (``scheduler=`` shares one persistent
+    :class:`~repro.mutation.scheduler.CampaignScheduler` pool across
+    campaigns; ``progress=`` receives per-shard
+    :class:`~repro.mutation.scheduler.CampaignProgress` callbacks).
     The merged report is deterministic -- byte-identical outcomes and
     percentages for any ``workers`` / ``shard_size`` combination.
 
     ``golden_factory()`` must return a fresh non-injected model;
     ``injected`` is the ADAM-generated model description (a fresh
     instance is created per mutant).  ``tap_order`` gives the register
-    order of the Counter ``meas_val`` bus (defaults to MUTANTS order).
+    order of the Counter ``meas_val`` bus (resolved lazily, and only
+    for Counter campaigns, when omitted).
     """
     from .campaign import run_campaign
 
@@ -220,6 +262,8 @@ def run_mutation_analysis(
         tap_order=tap_order,
         workers=workers,
         shard_size=shard_size,
+        scheduler=scheduler,
+        progress=progress,
     )
 
 

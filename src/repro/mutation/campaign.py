@@ -13,19 +13,26 @@ source.  The engine amortises both:
    compiled once per shard/worker process (the
    :meth:`GeneratedTlm.compiled_class` cache), so each mutant pays only
    object construction plus its own simulation;
-3. with ``workers > 1`` the shards run on a
-   :class:`concurrent.futures.ProcessPoolExecutor`; every shard is a
-   picklable plain-data work unit, and outcomes are merged back in
-   mutant-index order, so the report is **deterministic** -- byte-
-   identical outcomes and percentages for any ``workers`` /
-   ``shard_size`` combination, including the inline ``workers=1``
-   path.
+3. shard execution goes through the streaming cross-IP scheduler
+   (:mod:`repro.mutation.scheduler`): ``workers > 1`` runs the shards
+   on a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+   owned by a :class:`~repro.mutation.scheduler.CampaignScheduler`
+   (pass ``scheduler=`` to share one pool across many campaigns);
+   every shard is a picklable plain-data work unit, and outcomes are
+   merged back in mutant-index order, so the report is
+   **deterministic** -- byte-identical outcomes and percentages for
+   any ``workers`` / ``shard_size`` combination, including the inline
+   ``workers=1`` path.
+
+This module owns campaign *preparation* (tap-order resolution, golden
+memoisation, shard construction -- :func:`prepare_campaign`) and the
+blocking :func:`run_campaign` entry point; streaming consumption lives
+in :func:`repro.mutation.scheduler.iter_campaign`.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.abstraction import GeneratedTlm
@@ -38,7 +45,14 @@ from .analysis import (
     compute_golden_trace,
 )
 
-__all__ = ["CampaignShard", "run_campaign", "shard_indices"]
+__all__ = [
+    "CampaignShard",
+    "PreparedCampaign",
+    "prepare_campaign",
+    "resolve_tap_order",
+    "run_campaign",
+    "shard_indices",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +67,38 @@ class CampaignShard:
     sensor_type: str
     recovery: bool
     tap_order: "tuple[str, ...]"
+
+
+@dataclass(frozen=True)
+class PreparedCampaign:
+    """A campaign lowered to its schedulable form: the shard list plus
+    the metadata needed to assemble the merged :class:`MutationReport`.
+    Preparation (golden trace, tap order) runs once in the parent; the
+    shards are then free to execute on any pool, interleaved with
+    shards from other campaigns."""
+
+    ip_name: str
+    sensor_type: str
+    variant: str
+    cycles_per_run: int
+    total: int
+    shards: "tuple[CampaignShard, ...]"
+
+    def build_report(self, outcomes, seconds: float = 0.0) -> MutationReport:
+        """Assemble the deterministic merged report: outcomes sorted
+        by mutant index plus the campaign metadata captured at prepare
+        time.  Shared by :func:`run_campaign` and
+        :func:`repro.mutation.scheduler.run_benchmark_suite` so their
+        reports cannot drift apart."""
+        report = MutationReport(
+            ip_name=self.ip_name,
+            sensor_type=self.sensor_type,
+            variant=self.variant,
+            outcomes=sorted(outcomes, key=lambda o: o.index),
+            cycles_per_run=self.cycles_per_run,
+        )
+        report.seconds = seconds
+        return report
 
 
 def shard_indices(
@@ -75,6 +121,35 @@ def shard_indices(
         tuple(range(lo, min(lo + shard_size, total)))
         for lo in range(0, total, shard_size)
     ]
+
+
+def resolve_tap_order(
+    injected: GeneratedTlm,
+    sensor_type: str,
+    tap_order: "list[str] | tuple[str, ...] | None" = None,
+) -> "tuple[str, ...]":
+    """Resolve the ``meas_val`` lane order of a Counter campaign.
+
+    Only the Counter mutant runner reads the tap order, so for every
+    other sensor type this returns without touching the generated
+    source -- probing ``COUNTER_TAP_ORDER`` through
+    :meth:`GeneratedTlm.compiled_class` would pay a full generated-
+    source compile in the parent process that razor campaigns never
+    need (their workers compile in their own processes).
+    """
+    if sensor_type != "counter":
+        return tuple(tap_order or ())
+    if tap_order is None:
+        tap_order = list(
+            getattr(injected.compiled_class(), "COUNTER_TAP_ORDER", ())
+        ) or None
+    if tap_order is None:
+        seen: "list[str]" = []
+        for spec in injected.mutants:
+            if spec.register not in seen:
+                seen.append(spec.register)
+        tap_order = seen
+    return tuple(tap_order)
 
 
 def _run_shard(shard: CampaignShard) -> "list":
@@ -111,6 +186,56 @@ def _resolve_golden_model(golden):
     return golden
 
 
+def prepare_campaign(
+    golden,
+    injected: GeneratedTlm,
+    stimuli: "list[dict[str, int]]",
+    *,
+    ip_name: str = "ip",
+    sensor_type: str = "razor",
+    recovery: bool = True,
+    tap_order: "list[str] | None" = None,
+    workers: int = 1,
+    shard_size: "int | None" = None,
+) -> PreparedCampaign:
+    """Run the mutant-independent campaign setup once.
+
+    Simulates the golden model (exactly once, regardless of the mutant
+    count), resolves the Counter tap order lazily (razor campaigns
+    skip the generated-source probe entirely), and partitions the
+    mutant indices into :class:`CampaignShard` work units sized for
+    ``workers`` / ``shard_size``.
+    """
+    specs = injected.mutants
+    taps = resolve_tap_order(injected, sensor_type, tap_order)
+
+    golden_model = _resolve_golden_model(golden)
+    golden_trace = compute_golden_trace(
+        golden_model, stimuli, sensor_type=sensor_type, recovery=recovery
+    )
+
+    shards = tuple(
+        CampaignShard(
+            indices=indices,
+            injected=injected,
+            stimuli=tuple(stimuli),
+            golden=golden_trace,
+            sensor_type=sensor_type,
+            recovery=recovery,
+            tap_order=taps,
+        )
+        for indices in shard_indices(len(specs), workers, shard_size)
+    )
+    return PreparedCampaign(
+        ip_name=ip_name,
+        sensor_type=sensor_type,
+        variant=injected.variant,
+        cycles_per_run=len(stimuli),
+        total=len(specs),
+        shards=shards,
+    )
+
+
 def run_campaign(
     golden,
     injected: GeneratedTlm,
@@ -122,6 +247,8 @@ def run_campaign(
     tap_order: "list[str] | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
+    scheduler=None,
+    progress=None,
 ) -> MutationReport:
     """Run a full mutation campaign, sharded across ``workers``.
 
@@ -131,56 +258,34 @@ def run_campaign(
     ADAM-generated description; a fresh instance is created per mutant
     from a per-process compiled class.  ``shard_size`` overrides the
     automatic one-shard-per-worker batching.
+
+    Execution streams through the scheduler machinery
+    (:func:`repro.mutation.scheduler.stream_prepared`); pass
+    ``scheduler=`` (a :class:`~repro.mutation.scheduler.CampaignScheduler`)
+    to reuse one persistent worker pool across many campaigns instead
+    of paying a pool spin-up per call, and ``progress=`` for per-shard
+    :class:`~repro.mutation.scheduler.CampaignProgress` callbacks.
+    The merged report is deterministic -- byte-identical for any
+    ``workers`` / ``shard_size`` / ``scheduler`` combination.
     """
+    from .scheduler import _ephemeral_width, _leased_scheduler, stream_prepared
+
     started = time.perf_counter()
-    specs = injected.mutants
-
-    if tap_order is None:
-        tap_order = list(
-            getattr(injected.compiled_class(), "COUNTER_TAP_ORDER", ())
-        ) or None
-    if tap_order is None:
-        seen: "list[str]" = []
-        for spec in specs:
-            if spec.register not in seen:
-                seen.append(spec.register)
-        tap_order = seen
-
-    golden_model = _resolve_golden_model(golden)
-    golden_trace = compute_golden_trace(
-        golden_model, stimuli, sensor_type=sensor_type, recovery=recovery
-    )
-
-    shards = [
-        CampaignShard(
-            indices=indices,
-            injected=injected,
-            stimuli=tuple(stimuli),
-            golden=golden_trace,
-            sensor_type=sensor_type,
-            recovery=recovery,
-            tap_order=tuple(tap_order),
-        )
-        for indices in shard_indices(len(specs), workers, shard_size)
-    ]
-
-    if workers <= 1 or len(shards) <= 1:
-        shard_results = [_run_shard(shard) for shard in shards]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(shards))
-        ) as pool:
-            shard_results = list(pool.map(_run_shard, shards))
-
-    outcomes = [o for chunk in shard_results for o in chunk]
-    outcomes.sort(key=lambda o: o.index)
-
-    report = MutationReport(
+    prepared = prepare_campaign(
+        golden,
+        injected,
+        stimuli,
         ip_name=ip_name,
         sensor_type=sensor_type,
-        variant=injected.variant,
-        outcomes=outcomes,
-        cycles_per_run=len(stimuli),
+        recovery=recovery,
+        tap_order=tap_order,
+        workers=workers if scheduler is None else scheduler.workers,
+        shard_size=shard_size,
     )
-    report.seconds = time.perf_counter() - started
-    return report
+    with _leased_scheduler(
+        scheduler, _ephemeral_width(workers, prepared)
+    ) as sched:
+        outcomes = list(stream_prepared(sched, prepared, progress=progress))
+    return prepared.build_report(
+        outcomes, seconds=time.perf_counter() - started
+    )

@@ -1,0 +1,554 @@
+"""Streaming cross-IP campaign scheduler (one pool, many campaigns).
+
+:mod:`repro.mutation.campaign` turned one campaign into picklable
+shards; this module turns *many* campaigns -- all IPs x both sensor
+types x any variant -- into one service-shaped workload fed to a
+single persistent worker pool:
+
+* :class:`CampaignScheduler` owns one
+  :class:`concurrent.futures.ProcessPoolExecutor` for its whole
+  lifetime.  Campaigns share it instead of paying a pool spin-up and
+  tear-down per :func:`~repro.mutation.campaign.run_campaign` call;
+  ``workers=1`` degrades to inline execution (no processes, fully
+  deterministic ordering).
+* :func:`iter_campaign` is the streaming face of one campaign: a
+  generator yielding :class:`~repro.mutation.analysis.MutantOutcome`
+  objects as their shards complete, with per-shard
+  :class:`CampaignProgress` callbacks and :class:`AbortPolicy`
+  early-abort (stop on the first surviving mutant, or once the score
+  threshold is reached -- new shards stop being submitted, in-flight
+  shards drain).  Collecting every yield and sorting by mutant index
+  reproduces the blocking report byte-for-byte.
+* :func:`run_benchmark_suite` batches whole campaign *suites* across
+  IPs: each campaign's shards are submitted to the shared pool as soon
+  as that campaign is prepared (prep of later campaigns overlaps
+  execution of earlier ones), and the shared queue lets short
+  campaigns backfill pool slots left idle while the long ones drain --
+  no per-campaign serialisation barrier, one pool warm for the whole
+  regression.
+
+Score accounting in the merged reports follows
+:class:`repro.mutation.analysis.MutationReport`: timed-out runs are
+excluded from every aggregate percentage (``effective_total``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .campaign import PreparedCampaign, _run_shard, prepare_campaign
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
+    from .analysis import MutationReport
+
+__all__ = [
+    "AbortPolicy",
+    "CampaignProgress",
+    "CampaignScheduler",
+    "SuiteResult",
+    "iter_campaign",
+    "run_benchmark_suite",
+    "stream_prepared",
+]
+
+
+@dataclass(frozen=True)
+class AbortPolicy:
+    """Early-abort policy for streaming campaigns.
+
+    ``stop_on_survivor``
+        stop submitting new shards as soon as a judged mutant survives
+        (the paper's closure loop cares about the *first* hole in the
+        sensor net, not the full count);
+    ``score_threshold``
+        stop once the killed percentage over the judged outcomes so
+        far reaches the threshold (metric-driven closure: the campaign
+        has proven enough).  The running score over a few mutants is
+        noisy -- ``min_judged`` requires a minimum judged sample
+        before the threshold may trigger (default 1: any judged
+        outcome counts).
+
+    Aborting never discards observations: shards already in flight
+    drain and their outcomes are still yielded; only *new* submissions
+    stop.
+    """
+
+    stop_on_survivor: bool = False
+    score_threshold: "float | None" = None
+    min_judged: int = 1
+
+    def triggered(self, *, killed: int, survivors: int, judged: int) -> bool:
+        if self.stop_on_survivor and survivors > 0:
+            return True
+        if (
+            self.score_threshold is not None
+            and judged >= max(1, self.min_judged)
+            and 100.0 * killed / judged >= self.score_threshold
+        ):
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """Snapshot handed to ``progress`` callbacks after every shard."""
+
+    ip_name: str
+    sensor_type: str
+    done: int            # outcomes observed so far
+    total: int           # mutants in the campaign
+    killed: int          # judged kills (timed-out runs are neither)
+    survivors: int       # judged, not killed
+    timed_out: int       # truncated runs (excluded from the score);
+                         # killed + survivors + timed_out == done
+    shards_done: int
+    shards_total: int
+    aborted: bool = False
+
+    @property
+    def pct(self) -> float:
+        return 100.0 * self.done / self.total if self.total else 100.0
+
+
+class _CampaignTracker:
+    """Mutable per-campaign counters behind the progress snapshots and
+    the abort policy."""
+
+    def __init__(self, prepared: PreparedCampaign,
+                 abort: "AbortPolicy | None" = None) -> None:
+        self.prepared = prepared
+        self.abort = abort
+        self.done = 0
+        self.killed = 0
+        self.survivors = 0
+        self.timed_out = 0
+        self.shards_done = 0
+        self.aborted = False
+
+    def record(self, outcome) -> None:
+        self.done += 1
+        # Mirror MutationReport's score accounting: a timed-out run is
+        # neither a kill nor a survivor, even if it diverged before the
+        # truncation -- so killed + survivors + timed_out == done and
+        # the running abort score agrees with the final report.
+        if outcome.timed_out:
+            self.timed_out += 1
+        elif outcome.killed:
+            self.killed += 1
+        else:
+            self.survivors += 1
+        if self.abort is not None and not self.aborted:
+            self.aborted = self.abort.triggered(
+                killed=self.killed,
+                survivors=self.survivors,
+                judged=self.done - self.timed_out,
+            )
+
+    def absorb(self, outcomes, progress=None) -> None:
+        """Account one completed shard: record every outcome, bump the
+        shard counter, fire the progress callback.  The single
+        absorption path shared by :func:`stream_prepared` and
+        :func:`run_benchmark_suite`, so streaming and suite accounting
+        cannot drift apart."""
+        for outcome in outcomes:
+            self.record(outcome)
+        self.shards_done += 1
+        if progress is not None:
+            progress(self.snapshot())
+
+    def snapshot(self) -> CampaignProgress:
+        p = self.prepared
+        return CampaignProgress(
+            ip_name=p.ip_name,
+            sensor_type=p.sensor_type,
+            done=self.done,
+            total=p.total,
+            killed=self.killed,
+            survivors=self.survivors,
+            timed_out=self.timed_out,
+            shards_done=self.shards_done,
+            shards_total=len(p.shards),
+            aborted=self.aborted,
+        )
+
+
+class CampaignScheduler:
+    """One persistent worker pool serving shards from many campaigns.
+
+    The pool is created lazily on first submission and lives until
+    :meth:`shutdown` (or context-manager exit), so a whole regression
+    -- every IP x sensor type, plus ad-hoc :func:`iter_campaign`
+    streams -- reuses warm worker processes instead of forking a fresh
+    pool per campaign.  ``workers=1`` never creates processes: shards
+    run inline at submission time, which keeps the single-worker path
+    deterministic and dependency-free.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool: "ProcessPoolExecutor | None" = None
+        self._closed = False
+
+    def pool(self) -> ProcessPoolExecutor:
+        """The lazily-created shared executor (``workers > 1`` only)."""
+        if self._closed:
+            raise RuntimeError("scheduler has been shut down")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def submit(self, shard) -> Future:
+        """Submit one :class:`CampaignShard`; returns a future of its
+        outcome list.  Inline mode (``workers=1``) executes the shard
+        eagerly and returns an already-resolved future."""
+        if self._closed:
+            raise RuntimeError("scheduler has been shut down")
+        if self.workers <= 1:
+            future: Future = Future()
+            try:
+                future.set_result(_run_shard(shard))
+            except BaseException as exc:  # pragma: no cover - propagated
+                future.set_exception(exc)
+            return future
+        return self.pool().submit(_run_shard, shard)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+
+    def __enter__(self) -> "CampaignScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _ephemeral_width(workers: int, prepared: PreparedCampaign) -> int:
+    """Pool width for a one-campaign ephemeral scheduler: never more
+    workers than shards (a one-shard campaign executes inline), never
+    fewer than one (``workers <= 1`` keeps the historical inline
+    semantics instead of raising)."""
+    return min(max(1, workers), max(1, len(prepared.shards)))
+
+
+@contextmanager
+def _leased_scheduler(scheduler: "CampaignScheduler | None", width: int):
+    """Yield ``scheduler`` untouched when one was passed (the caller
+    owns its lifetime), or an ephemeral :class:`CampaignScheduler` of
+    ``width`` workers that is shut down on exit.  The single
+    scheduler-lifecycle policy shared by every campaign entry point."""
+    if scheduler is not None:
+        yield scheduler
+        return
+    ephemeral = CampaignScheduler(max(1, width))
+    try:
+        yield ephemeral
+    finally:
+        ephemeral.shutdown()
+
+
+def stream_prepared(
+    scheduler: "CampaignScheduler",
+    prepared: PreparedCampaign,
+    *,
+    progress=None,
+    abort: "AbortPolicy | None" = None,
+):
+    """Run an already-prepared campaign on ``scheduler``, yielding
+    ``MutantOutcome``s as shards complete.  The streaming core shared
+    by :func:`iter_campaign` and
+    :func:`repro.mutation.campaign.run_campaign`; the caller owns the
+    scheduler's lifetime."""
+    tracker = _CampaignTracker(prepared, abort)
+    remaining = iter(prepared.shards)
+    pending: "set[Future]" = set()
+    exhausted = False
+    while True:
+        # Keep at most one submitted shard per pool slot so an abort
+        # genuinely stops work, instead of merely ignoring results of
+        # shards already queued behind the pool.
+        while not tracker.aborted and not exhausted and \
+                len(pending) < scheduler.workers:
+            shard = next(remaining, None)
+            if shard is None:
+                exhausted = True
+                break
+            pending.add(scheduler.submit(shard))
+        if not pending:
+            break
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            outcomes = future.result()
+            tracker.absorb(outcomes, progress)
+            yield from outcomes
+
+
+def iter_campaign(
+    golden,
+    injected,
+    stimuli,
+    *,
+    ip_name: str = "ip",
+    sensor_type: str = "razor",
+    recovery: bool = True,
+    tap_order: "list[str] | None" = None,
+    workers: int = 1,
+    shard_size: "int | None" = None,
+    scheduler: "CampaignScheduler | None" = None,
+    progress=None,
+    abort: "AbortPolicy | None" = None,
+):
+    """Stream one campaign: yield ``MutantOutcome``s as shards complete.
+
+    Arguments mirror :func:`repro.mutation.campaign.run_campaign`.
+    With a ``scheduler`` the campaign runs on that shared pool (and
+    ``workers`` is ignored in favour of ``scheduler.workers``);
+    otherwise an ephemeral scheduler is created and shut down when the
+    generator finishes (or is closed early).
+
+    Every outcome is yielded exactly once.  Yield order is shard-
+    completion order -- deterministic for one worker, pool-dependent
+    otherwise -- but the outcomes themselves are computed identically
+    regardless of sharding, so sorting the collected yields by
+    ``index`` reproduces :func:`run_campaign`'s deterministic report.
+
+    ``progress`` is called with a :class:`CampaignProgress` after each
+    shard.  ``abort`` (an :class:`AbortPolicy`) stops *submission* of
+    new shards once triggered; shards already in flight drain and are
+    still yielded.
+    """
+    prepared = prepare_campaign(
+        golden,
+        injected,
+        stimuli,
+        ip_name=ip_name,
+        sensor_type=sensor_type,
+        recovery=recovery,
+        tap_order=tap_order,
+        workers=workers if scheduler is None else scheduler.workers,
+        shard_size=shard_size,
+    )
+    with _leased_scheduler(
+        scheduler, _ephemeral_width(workers, prepared)
+    ) as sched:
+        yield from stream_prepared(
+            sched, prepared, progress=progress, abort=abort
+        )
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of one :func:`run_benchmark_suite` run."""
+
+    #: ``(ip_name, sensor_type) -> MutationReport``, every report
+    #: field-identical to a standalone ``run_campaign`` (modulo the
+    #: wall-clock ``seconds``, which here spans that campaign's own
+    #: preparation to its last shard; campaigns overlap on the shared
+    #: pool, so the per-campaign times can sum past the suite total).
+    reports: "dict[tuple[str, str], MutationReport]"
+    seconds: float           # whole suite, including flow builds
+    campaign_seconds: float  # prepare+execute phase (prep of later
+                             # campaigns overlaps earlier shards)
+    workers: int
+
+    @property
+    def total_mutants(self) -> int:
+        return sum(r.total for r in self.reports.values())
+
+    @property
+    def mutants_per_second(self) -> float:
+        if self.campaign_seconds <= 0:
+            return 0.0
+        return self.total_mutants / self.campaign_seconds
+
+    @property
+    def all_killed(self) -> bool:
+        return all(r.killed_pct == 100.0 for r in self.reports.values())
+
+    @property
+    def timed_out_count(self) -> int:
+        return sum(r.timed_out_count for r in self.reports.values())
+
+
+@dataclass
+class _SuiteJob:
+    """One campaign inside a suite: prepared shards + merge state."""
+
+    key: "tuple[str, str]"
+    prepared: PreparedCampaign
+    tracker: _CampaignTracker
+    started: float = 0.0     # perf_counter at this campaign's prepare
+    outcomes: "list" = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.tracker.shards_done == len(self.prepared.shards)
+
+
+def run_benchmark_suite(
+    specs,
+    sensor_types=("razor", "counter"),
+    *,
+    workers: int = 4,
+    shard_size: "int | None" = None,
+    mutation_cycles: "int | None" = None,
+    scheduler: "CampaignScheduler | None" = None,
+    progress=None,
+    flows: "dict | None" = None,
+) -> SuiteResult:
+    """Run the cross-IP campaign suite on one shared worker pool.
+
+    ``specs`` is an iterable of :class:`repro.ips.IpSpec` or registry
+    names; every distinct ``spec x sensor_type`` pair becomes one
+    campaign (duplicates are run once).  Each campaign's flow
+    (characterise + insert + abstract + inject) and golden trace are
+    prepared in the parent, and its shards are submitted to the one
+    shared :class:`CampaignScheduler` **as soon as that campaign is
+    ready** -- the pool chews earlier campaigns' shards while later
+    ones still prepare, and the shared queue lets short campaigns
+    backfill the slots long ones leave idle.  The pool is spun up
+    exactly once for the whole suite.
+
+    ``flows`` optionally maps ``(ip_name, sensor_type)`` to an already-
+    built :class:`~repro.flow.pipeline.FlowResult` (the benchmark
+    harness uses this to time scheduling strategies without re-running
+    flow setup); missing entries are built via
+    :func:`repro.flow.run_flow`.  ``progress`` receives a
+    :class:`CampaignProgress` per completed shard, tagged with that
+    shard's campaign.
+
+    The per-campaign reports are deterministic: field-identical to a
+    standalone :func:`~repro.mutation.campaign.run_campaign` of the
+    same campaign (``seconds`` aside).
+    """
+    from repro.flow import run_flow
+    from repro.ips import IpSpec, case_study
+
+    started = time.perf_counter()
+    resolved: "list[IpSpec]" = [
+        case_study(s) if isinstance(s, str) else s for s in specs
+    ]
+    sensor_types = tuple(sensor_types)
+    for sensor in sensor_types:
+        # Fail fast in the parent: an unknown sensor type would
+        # otherwise surface as a tap-order crash inside a worker.
+        if sensor not in ("razor", "counter"):
+            raise ValueError(f"unknown sensor type {sensor!r}")
+
+    campaign_started = time.perf_counter()
+
+    def _absorb(job: _SuiteJob, outcomes,
+                finished_at: "float | None" = None) -> None:
+        job.outcomes.extend(outcomes)
+        job.tracker.absorb(outcomes, progress)
+        if job.complete:
+            job.seconds = (
+                finished_at if finished_at is not None
+                else time.perf_counter()
+            ) - job.started
+
+    jobs: "list[_SuiteJob]" = []
+    futures: "dict[Future, _SuiteJob]" = {}
+    #: perf_counter stamped the moment each future resolves (pool
+    #: callback thread), so a campaign's duration is measured to its
+    #: last shard's *completion*, not to whenever the parent -- which
+    #: may be busy building a later campaign's flow -- drains it.
+    completion: "dict[Future, float]" = {}
+    seen: "set[tuple[str, str]]" = set()
+
+    def _absorb_done(block: bool) -> None:
+        if not futures:
+            return
+        done, _ = wait(
+            set(futures),
+            timeout=None if block else 0,
+            return_when=FIRST_COMPLETED,
+        )
+        for future in done:
+            _absorb(
+                futures.pop(future),
+                future.result(),
+                completion.pop(future, None),
+            )
+
+    # A passed scheduler defines the pool width; shard to fill it.
+    with _leased_scheduler(scheduler, workers) as sched:
+        for spec in resolved:
+            for sensor in sensor_types:
+                key = (spec.name, sensor)
+                if key in seen:
+                    continue
+                seen.add(key)
+                flow = (flows or {}).get(key)
+                if flow is None:
+                    flow = run_flow(spec, sensor, run_mutation=False)
+                stimuli = spec.stimulus(
+                    mutation_cycles or spec.mutation_cycles
+                )
+                # Campaign time starts at its own preparation (golden
+                # trace + sharding), matching run_campaign.seconds --
+                # the flow build above is suite setup, not campaign.
+                job_started = time.perf_counter()
+                prepared = prepare_campaign(
+                    flow.golden_factory(),
+                    flow.injected,
+                    stimuli,
+                    ip_name=spec.name,
+                    sensor_type=sensor,
+                    recovery=True,
+                    workers=sched.workers,
+                    shard_size=shard_size,
+                )
+                job = _SuiteJob(
+                    key=key,
+                    prepared=prepared,
+                    tracker=_CampaignTracker(prepared),
+                    started=job_started,
+                )
+                jobs.append(job)
+                # Submit immediately: the pool starts on this
+                # campaign's shards while the next campaign's flow and
+                # golden trace still prepare in the parent.  (Inline
+                # mode executes at submission, so absorb right away.)
+                for shard in prepared.shards:
+                    future = sched.submit(shard)
+                    if sched.workers <= 1:
+                        _absorb(job, future.result())
+                    else:
+                        futures[future] = job
+                        future.add_done_callback(
+                            lambda f: completion.setdefault(
+                                f, time.perf_counter()
+                            )
+                        )
+                # Keep progress live and per-campaign timing honest:
+                # drain whatever finished while this campaign prepared.
+                _absorb_done(block=False)
+        while futures:
+            _absorb_done(block=True)
+    campaign_seconds = time.perf_counter() - campaign_started
+
+    reports = {
+        job.key: job.prepared.build_report(job.outcomes, seconds=job.seconds)
+        for job in jobs
+    }
+    return SuiteResult(
+        reports=reports,
+        seconds=time.perf_counter() - started,
+        campaign_seconds=campaign_seconds,
+        workers=sched.workers,
+    )

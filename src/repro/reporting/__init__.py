@@ -1,5 +1,5 @@
 """Report formatting utilities."""
 
-from .tables import format_kv, format_table
+from .tables import format_kv, format_table, mutation_summary_pairs
 
-__all__ = ["format_kv", "format_table"]
+__all__ = ["format_kv", "format_table", "mutation_summary_pairs"]

@@ -2,12 +2,14 @@
 
 Produces aligned ASCII tables in the layout of the paper's Tables 1-5
 so benchmark output can be compared against the publication row by
-row.
+row, plus the shared mutation-campaign summary
+(:func:`mutation_summary_pairs`) that surfaces the timed-out-run
+exclusion applied by the score accounting.
 """
 
 from __future__ import annotations
 
-__all__ = ["format_table", "format_kv"]
+__all__ = ["format_table", "format_kv", "mutation_summary_pairs"]
 
 
 def _cell(value) -> str:
@@ -44,6 +46,36 @@ def format_table(
     for row in cells:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def mutation_summary_pairs(report) -> "list[tuple[str, object]]":
+    """Key/value rows summarising a
+    :class:`repro.mutation.MutationReport` for CLI output.
+
+    Every aggregate percentage excludes timed-out (stall-budget-
+    truncated) runs -- they are neither kills nor survivors -- so when
+    a campaign has timeouts the summary states both the judged and the
+    raw mutant counts instead of silently reporting a score over a
+    shrunken population.
+    """
+    timed_out = report.timed_out_count
+    if timed_out:
+        mutants = f"{report.effective_total} judged / {report.total} total"
+    else:
+        mutants = report.total
+    pairs: "list[tuple[str, object]]" = [
+        ("mutants", mutants),
+        ("killed", f"{report.killed_pct:.1f}%"),
+        ("corrected", f"{report.corrected_pct:.1f}%"
+         if report.corrected_pct is not None else "n.a."),
+        ("errors risen", f"{report.risen_pct:.1f}%"),
+    ]
+    if timed_out:
+        pairs.append((
+            "timed out (excluded from score)",
+            f"{timed_out} of {report.total}",
+        ))
+    return pairs
 
 
 def format_kv(pairs: "list[tuple[str, object]]", *, indent: int = 2) -> str:

@@ -2,9 +2,17 @@
 
 Watches the sensor-related ports of a running model (TLM) or
 simulation (RTL) and accumulates an activity summary: error pulses,
-per-sensor measurement histograms, stall counts.  The end-to-end flow
-attaches one to every campaign run so benchmark reports can state not
-just percentages but what the sensors actually saw.
+per-sensor (per-lane) measurement histograms, stall counts.  The
+end-to-end flow attaches one to every campaign run so benchmark
+reports can state not just percentages but what the sensors actually
+saw.
+
+The ``meas_val`` bus packs one 8-bit measurement lane per Counter
+sensor (lane *i* belongs to ``COUNTER_TAP_ORDER[i]``).  The monitor
+unpacks a **fixed** lane count derived from the model -- shifting only
+while the bus is non-zero would skip zero-valued lanes that sit below
+a non-zero one and lose which sensor produced each value, conflating
+every sensor into one histogram.
 """
 
 from __future__ import annotations
@@ -22,22 +30,49 @@ class SensorActivity:
     error_pulses: int = 0
     stall_cycles: int = 0
     metric_ok_low_cycles: int = 0
-    meas_histogram: "dict[int, int]" = field(default_factory=dict)
+    #: lane index -> {measured value -> occurrence count}; lane *i* is
+    #: the i-th 8-bit field of ``meas_val`` (the i-th Counter sensor).
+    meas_histogram: "dict[int, dict[int, int]]" = field(default_factory=dict)
 
-    def record_meas(self, value: int) -> None:
+    def record_meas(self, lane: int, value: int) -> None:
         if value:
-            self.meas_histogram[value] = self.meas_histogram.get(value, 0) + 1
+            hist = self.meas_histogram.setdefault(lane, {})
+            hist[value] = hist.get(value, 0) + 1
 
     @property
     def saw_errors(self) -> bool:
         return self.error_pulses > 0 or self.metric_ok_low_cycles > 0
 
 
-class TlmSensorMonitor:
-    """Wraps a generated TLM model; forwards cycles, records activity."""
+def _lane_count(model) -> int:
+    """Number of 8-bit measurement lanes in the model's ``meas_val``.
 
-    def __init__(self, model) -> None:
+    Prefers the generated model's ``COUNTER_TAP_ORDER`` (one lane per
+    Counter sensor); falls back to the declared ``meas_val`` port
+    width.  Models without a measurement bus have zero lanes.
+    """
+    taps = getattr(model, "COUNTER_TAP_ORDER", None)
+    if taps:
+        return len(taps)
+    ports = getattr(model, "PORTS_OUT", None) or {}
+    try:
+        width = dict(ports).get("meas_val", 0)
+    except (TypeError, ValueError):
+        width = 0
+    return (int(width) + 7) // 8 if width else 0
+
+
+class TlmSensorMonitor:
+    """Wraps a generated TLM model; forwards cycles, records activity.
+
+    ``lanes`` overrides the measurement-lane count inferred from the
+    model (``COUNTER_TAP_ORDER`` length, else ``meas_val`` width / 8).
+    """
+
+    def __init__(self, model, lanes: "int | None" = None) -> None:
         self.model = model
+        self.lanes = _lane_count(model) if lanes is None else lanes
+        self.tap_order = tuple(getattr(model, "COUNTER_TAP_ORDER", ()))
         self.activity = SensorActivity()
 
     def cycle(self, inputs: "dict[str, int]") -> "dict[str, int]":
@@ -51,8 +86,7 @@ class TlmSensorMonitor:
         if outs.get("metric_ok", 1) == 0:
             activity.metric_ok_low_cycles += 1
         meas_bus = outs.get("meas_val")
-        if meas_bus:
-            while meas_bus:
-                activity.record_meas(meas_bus & 0xFF)
-                meas_bus >>= 8
+        if meas_bus is not None and self.lanes:
+            for lane in range(self.lanes):
+                activity.record_meas(lane, (meas_bus >> (8 * lane)) & 0xFF)
         return outs

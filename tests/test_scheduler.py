@@ -1,0 +1,546 @@
+"""Streaming cross-IP scheduler suite + PR-3 regression tests.
+
+Covers the streaming equivalence guarantee (every outcome yielded
+exactly once; the merged report field-identical to the blocking
+``run_campaign`` for several ``workers`` / ``shard_size`` combinations
+on all three case-study IPs and both sensor types), persistent-pool
+reuse across campaigns, cross-IP suite batching, early-abort policies
+(submission stops), and regressions for the three accounting/monitor
+bugfixes: timed-out runs excluded from the mutation score, the lazy
+Counter tap-order probe, and per-lane ``meas_val`` histograms.
+"""
+
+import pytest
+
+from repro.abstraction import GeneratedTlm
+from repro.flow import run_flow
+from repro.ips import CASE_STUDIES, case_study
+from repro.mutation import (
+    AbortPolicy,
+    CampaignScheduler,
+    MutantOutcome,
+    MutationReport,
+    iter_campaign,
+    prepare_campaign,
+    run_benchmark_suite,
+    run_campaign,
+)
+from repro.reporting import mutation_summary_pairs
+from repro.stimuli import TlmSensorMonitor
+
+#: Shortened testbench shared by the cross-IP streaming tests: long
+#: enough to exercise every engine path, short enough that the suite
+#: stays in tier-1 time budget.  Kill percentages at this length are
+#: irrelevant here -- only blocking/streaming equivalence is.
+REDUCED_CYCLES = 24
+
+
+@pytest.fixture(scope="module")
+def flows():
+    """Memoised ``run_flow(..., run_mutation=False)`` per (ip, sensor)."""
+    cache = {}
+
+    def get(ip, sensor):
+        key = (ip, sensor)
+        if key not in cache:
+            cache[key] = run_flow(case_study(ip), sensor,
+                                  run_mutation=False)
+        return cache[key]
+
+    return get
+
+
+def assert_reports_match(actual: MutationReport, expected: MutationReport):
+    """Field-for-field equality, ``seconds`` (wall clock) aside."""
+    assert actual.ip_name == expected.ip_name
+    assert actual.sensor_type == expected.sensor_type
+    assert actual.variant == expected.variant
+    assert actual.cycles_per_run == expected.cycles_per_run
+    assert actual.outcomes == expected.outcomes
+    assert actual.total == expected.total
+    assert actual.effective_total == expected.effective_total
+    assert actual.timed_out_count == expected.timed_out_count
+    assert actual.killed_pct == expected.killed_pct
+    assert actual.detected_pct == expected.detected_pct
+    assert actual.risen_pct == expected.risen_pct
+    assert actual.corrected_pct == expected.corrected_pct
+    assert actual.mutation_score == expected.mutation_score
+
+
+class CountingScheduler(CampaignScheduler):
+    """Scheduler that counts shard submissions (early-abort probes)."""
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+        self.submitted = 0
+
+    def submit(self, shard):
+        self.submitted += 1
+        return super().submit(shard)
+
+
+# ----------------------------------------------------------------------
+# Streaming equivalence: iter_campaign == run_campaign, all IPs
+# ----------------------------------------------------------------------
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("sensor", ["razor", "counter"])
+    @pytest.mark.parametrize("ip", sorted(CASE_STUDIES))
+    def test_stream_matches_blocking_report(self, flows, ip, sensor):
+        spec = case_study(ip)
+        flow = flows(ip, sensor)
+        stim = spec.stimulus(REDUCED_CYCLES)
+        baseline = run_campaign(
+            flow.golden_factory(), flow.injected, stim,
+            ip_name=ip, sensor_type=sensor, workers=1,
+        )
+        for workers, shard_size in [(1, None), (4, None), (4, 2)]:
+            outcomes = list(iter_campaign(
+                flow.golden_factory(), flow.injected, stim,
+                ip_name=ip, sensor_type=sensor,
+                workers=workers, shard_size=shard_size,
+            ))
+            # Every outcome exactly once, no duplicates, no gaps.
+            assert sorted(o.index for o in outcomes) == \
+                list(range(baseline.total))
+            report = MutationReport(
+                ip_name=ip,
+                sensor_type=sensor,
+                variant=flow.injected.variant,
+                outcomes=sorted(outcomes, key=lambda o: o.index),
+                cycles_per_run=len(stim),
+            )
+            assert_reports_match(report, baseline)
+
+    def test_progress_callback_sees_every_shard(self, flows):
+        spec = case_study("dsp")
+        flow = flows("dsp", "razor")
+        stim = spec.stimulus(REDUCED_CYCLES)
+        snapshots = []
+        outcomes = list(iter_campaign(
+            flow.golden_factory(), flow.injected, stim,
+            ip_name="dsp", sensor_type="razor",
+            workers=1, shard_size=4, progress=snapshots.append,
+        ))
+        total = len(flow.injected.mutants)
+        assert [s.shards_done for s in snapshots] == \
+            list(range(1, len(snapshots) + 1))
+        last = snapshots[-1]
+        assert last.shards_done == last.shards_total
+        assert last.done == last.total == total == len(outcomes)
+        assert last.killed + last.survivors + last.timed_out == last.done
+        assert not last.aborted
+
+
+# ----------------------------------------------------------------------
+# Persistent pool sharing
+# ----------------------------------------------------------------------
+
+class TestPersistentScheduler:
+    def test_one_pool_serves_many_campaigns(self, flows):
+        stim = {
+            ip: case_study(ip).stimulus(REDUCED_CYCLES)
+            for ip in ("plasma", "dsp")
+        }
+        with CampaignScheduler(workers=2) as scheduler:
+            reports = {}
+            pools = set()
+            for ip in ("plasma", "dsp"):
+                flow = flows(ip, "razor")
+                reports[ip] = run_campaign(
+                    flow.golden_factory(), flow.injected, stim[ip],
+                    ip_name=ip, sensor_type="razor",
+                    scheduler=scheduler,
+                )
+                pools.add(id(scheduler._pool))
+            assert len(pools) == 1          # the pool was reused
+            assert scheduler._pool is not None
+        for ip in ("plasma", "dsp"):
+            flow = flows(ip, "razor")
+            baseline = run_campaign(
+                flow.golden_factory(), flow.injected, stim[ip],
+                ip_name=ip, sensor_type="razor", workers=1,
+            )
+            assert_reports_match(reports[ip], baseline)
+
+    def test_shutdown_refuses_new_work(self):
+        scheduler = CampaignScheduler(workers=2)
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.pool()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CampaignScheduler(workers=0)
+
+    def test_run_campaign_workers_zero_still_runs_inline(self, flows):
+        # Historical behaviour: workers <= 1 meant "inline", it never
+        # raised -- the ephemeral scheduler must clamp, not reject.
+        flow = flows("plasma", "razor")
+        stim = case_study("plasma").stimulus(REDUCED_CYCLES)
+        report = run_campaign(
+            flow.golden_factory(), flow.injected, stim,
+            ip_name="plasma", sensor_type="razor", workers=0,
+        )
+        baseline = run_campaign(
+            flow.golden_factory(), flow.injected, stim,
+            ip_name="plasma", sensor_type="razor", workers=1,
+        )
+        assert_reports_match(report, baseline)
+
+    def test_run_flow_threads_scheduler_through(self):
+        spec = case_study("plasma")
+        with CampaignScheduler(workers=2) as scheduler:
+            shared = run_flow(
+                spec, "razor", mutation_cycles=REDUCED_CYCLES,
+                scheduler=scheduler,
+            )
+        baseline = run_flow(spec, "razor", mutation_cycles=REDUCED_CYCLES)
+        assert_reports_match(shared.mutation, baseline.mutation)
+
+
+# ----------------------------------------------------------------------
+# Cross-IP suite batching
+# ----------------------------------------------------------------------
+
+class TestBenchmarkSuite:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_suite_reports_match_standalone_campaigns(self, flows,
+                                                      workers):
+        ips = sorted(CASE_STUDIES)
+        prepared_flows = {(ip, "razor"): flows(ip, "razor") for ip in ips}
+        suite = run_benchmark_suite(
+            ips, ("razor",), workers=workers,
+            mutation_cycles=REDUCED_CYCLES, flows=prepared_flows,
+        )
+        assert set(suite.reports) == {(ip, "razor") for ip in ips}
+        for ip in ips:
+            flow = prepared_flows[(ip, "razor")]
+            stim = case_study(ip).stimulus(REDUCED_CYCLES)
+            baseline = run_campaign(
+                flow.golden_factory(), flow.injected, stim,
+                ip_name=ip, sensor_type="razor", workers=1,
+            )
+            assert_reports_match(suite.reports[(ip, "razor")], baseline)
+        assert suite.total_mutants == sum(
+            r.total for r in suite.reports.values()
+        )
+        assert suite.workers == workers
+        assert suite.campaign_seconds <= suite.seconds
+
+    def test_suite_rejects_unknown_sensor_type(self):
+        with pytest.raises(ValueError, match="unknown sensor type"):
+            run_benchmark_suite(["plasma"], ("razr",), workers=1)
+
+    def test_suite_deduplicates_repeated_campaigns(self, flows):
+        prepared_flows = {("plasma", "razor"): flows("plasma", "razor")}
+        suite = run_benchmark_suite(
+            ["plasma", "plasma"], ("razor", "razor"), workers=1,
+            mutation_cycles=REDUCED_CYCLES, flows=prepared_flows,
+        )
+        assert list(suite.reports) == [("plasma", "razor")]
+        assert suite.total_mutants == len(
+            prepared_flows[("plasma", "razor")].injected.mutants
+        )
+
+    def test_suite_progress_is_tagged_per_campaign(self, flows):
+        ips = ["plasma", "dsp"]
+        prepared_flows = {(ip, "razor"): flows(ip, "razor") for ip in ips}
+        snapshots = []
+        run_benchmark_suite(
+            ips, ("razor",), workers=1,
+            mutation_cycles=REDUCED_CYCLES, flows=prepared_flows,
+            progress=snapshots.append,
+        )
+        seen = {(s.ip_name, s.sensor_type) for s in snapshots}
+        assert seen == {(ip, "razor") for ip in ips}
+        for ip in ips:
+            finals = [s for s in snapshots if s.ip_name == ip]
+            assert finals[-1].done == finals[-1].total
+
+
+# ----------------------------------------------------------------------
+# Early abort
+# ----------------------------------------------------------------------
+
+class TestEarlyAbort:
+    def test_first_survivor_stops_submission(self, flows):
+        # A very short testbench leaves the filter's decimated outputs
+        # untouched, so mutants survive -- the first survivor must
+        # stop shard submission.
+        flow = flows("filter", "razor")
+        stim = case_study("filter").stimulus(8)
+        scheduler = CountingScheduler(workers=1)
+        outcomes = list(iter_campaign(
+            flow.golden_factory(), flow.injected, stim,
+            ip_name="filter", sensor_type="razor",
+            shard_size=1, scheduler=scheduler,
+            abort=AbortPolicy(stop_on_survivor=True),
+        ))
+        total = len(flow.injected.mutants)
+        survivor_positions = [
+            i for i, o in enumerate(outcomes)
+            if not o.killed and not o.timed_out
+        ]
+        assert survivor_positions, "expected surviving mutants"
+        # Inline mode submits one shard at a time, so submission halts
+        # right after the shard that produced the first survivor.
+        assert scheduler.submitted == survivor_positions[0] + 1
+        assert scheduler.submitted < total
+
+    def test_score_threshold_stops_submission(self, flows):
+        # The full-length DSP campaign kills every mutant, so the very
+        # first kill reaches a 100% running score and aborts.
+        spec = case_study("dsp")
+        flow = flows("dsp", "razor")
+        stim = spec.stimulus(spec.mutation_cycles)
+        scheduler = CountingScheduler(workers=1)
+        outcomes = list(iter_campaign(
+            flow.golden_factory(), flow.injected, stim,
+            ip_name="dsp", sensor_type="razor",
+            shard_size=1, scheduler=scheduler,
+            abort=AbortPolicy(score_threshold=100.0),
+        ))
+        assert outcomes[0].killed
+        assert scheduler.submitted == 1
+        assert len(outcomes) < len(flow.injected.mutants)
+
+    def test_no_policy_never_aborts(self):
+        policy = AbortPolicy()
+        assert not policy.triggered(killed=5, survivors=5, judged=10)
+
+    def test_threshold_ignores_unjudged_runs(self):
+        policy = AbortPolicy(score_threshold=50.0)
+        assert not policy.triggered(killed=0, survivors=0, judged=0)
+        assert policy.triggered(killed=1, survivors=1, judged=2)
+
+    def test_min_judged_defers_a_noisy_threshold(self):
+        policy = AbortPolicy(score_threshold=90.0, min_judged=5)
+        # 2/2 = 100% but the sample is below the guard.
+        assert not policy.triggered(killed=2, survivors=0, judged=2)
+        assert policy.triggered(killed=5, survivors=0, judged=5)
+
+    def test_tracker_score_matches_report_accounting(self):
+        # A kill observed before a timeout is unjudged for the running
+        # abort score, exactly as it is for MutationReport -- it must
+        # not trip a 100% threshold that the final report would refute.
+        from repro.mutation import PreparedCampaign
+        from repro.mutation.scheduler import _CampaignTracker
+
+        prepared = PreparedCampaign(
+            ip_name="ip", sensor_type="razor", variant="hdtlib",
+            cycles_per_run=4, total=2, shards=(),
+        )
+        tracker = _CampaignTracker(
+            prepared, AbortPolicy(score_threshold=100.0)
+        )
+        tracker.record(_outcome(0, killed=True, timed_out=True))
+        assert not tracker.aborted        # no judged outcomes yet
+        tracker.record(_outcome(1))       # a real survivor: score 0%
+        snap = tracker.snapshot()
+        assert (snap.killed, snap.survivors, snap.timed_out) == (0, 1, 1)
+        assert snap.killed + snap.survivors + snap.timed_out == snap.done
+        assert not tracker.aborted
+
+
+# ----------------------------------------------------------------------
+# Regression: timed-out runs excluded from the score denominators
+# ----------------------------------------------------------------------
+
+def _outcome(index, *, killed=False, timed_out=False, detected=False,
+             risen=False, corrected=None):
+    return MutantOutcome(
+        index=index, kind="delta", target="t", register="r", hf_tick=1,
+        killed=killed, detected=detected, error_risen=risen,
+        corrected=corrected, meas_val=None, first_divergence=None,
+        timed_out=timed_out,
+    )
+
+
+class TestScoreAccounting:
+    def test_timeouts_excluded_from_denominator(self):
+        report = MutationReport("ip", "razor", "hdtlib", outcomes=[
+            _outcome(0, killed=True, detected=True, risen=True),
+            _outcome(1, killed=True, detected=True, risen=True),
+            _outcome(2, killed=True, detected=True, risen=True),
+            _outcome(3, timed_out=True),
+        ])
+        assert report.total == 4
+        assert report.timed_out_count == 1
+        assert report.effective_total == 3
+        # Regression: these were 75% -- the timed-out run silently
+        # deflated the score as a phantom survivor.
+        assert report.killed_pct == 100.0
+        assert report.mutation_score == 100.0
+        assert report.detected_pct == 100.0
+        assert report.risen_pct == 100.0
+        assert report.survivors() == []
+
+    def test_timed_out_kill_is_not_scored(self):
+        # A divergence observed before the timeout stays on the
+        # outcome, but the aggregate score only judges completed runs.
+        report = MutationReport("ip", "razor", "hdtlib", outcomes=[
+            _outcome(0, killed=True),
+            _outcome(1, killed=True, timed_out=True),
+        ])
+        assert report.effective_total == 1
+        assert report.killed_pct == 100.0
+
+    def test_all_timed_out_scores_zero(self):
+        report = MutationReport("ip", "razor", "hdtlib", outcomes=[
+            _outcome(0, timed_out=True),
+            _outcome(1, timed_out=True),
+        ])
+        assert report.effective_total == 0
+        assert report.killed_pct == 0.0
+        assert report.survivors() == []
+
+    def test_real_survivor_still_counts(self):
+        report = MutationReport("ip", "razor", "hdtlib", outcomes=[
+            _outcome(0, killed=True),
+            _outcome(1),
+        ])
+        assert report.killed_pct == 50.0
+        assert len(report.survivors()) == 1
+
+    def test_summary_surfaces_the_exclusion(self):
+        report = MutationReport("ip", "razor", "hdtlib", outcomes=[
+            _outcome(0, killed=True),
+            _outcome(1, timed_out=True),
+        ])
+        pairs = dict(mutation_summary_pairs(report))
+        assert pairs["mutants"] == "1 judged / 2 total"
+        assert pairs["timed out (excluded from score)"] == "1 of 2"
+
+    def test_summary_is_quiet_without_timeouts(self):
+        report = MutationReport("ip", "razor", "hdtlib", outcomes=[
+            _outcome(0, killed=True),
+        ])
+        pairs = dict(mutation_summary_pairs(report))
+        assert pairs["mutants"] == 1
+        assert "timed out (excluded from score)" not in pairs
+
+
+# ----------------------------------------------------------------------
+# Regression: lazy Counter tap-order resolution
+# ----------------------------------------------------------------------
+
+class TestLazyTapOrder:
+    def test_razor_prepare_never_compiles_injected(self, flows,
+                                                   monkeypatch):
+        flow = flows("dsp", "razor")
+        injected = flow.injected
+        compiled = []
+        orig = GeneratedTlm.compiled_class
+
+        def spy(self):
+            compiled.append(self)
+            return orig(self)
+
+        monkeypatch.setattr(GeneratedTlm, "compiled_class", spy)
+        prepare_campaign(
+            flow.golden_factory(), injected,
+            case_study("dsp").stimulus(8), sensor_type="razor",
+        )
+        # The golden model must compile (it simulates); the injected
+        # description must not -- its compile belongs to the workers.
+        assert all(gen is not injected for gen in compiled)
+
+    def test_razor_shards_carry_empty_tap_order(self, flows):
+        flow = flows("dsp", "razor")
+        prepared = prepare_campaign(
+            flow.golden_factory(), flow.injected,
+            case_study("dsp").stimulus(8), sensor_type="razor",
+        )
+        assert all(s.tap_order == () for s in prepared.shards)
+
+    def test_counter_prepare_resolves_generated_tap_order(self, flows):
+        flow = flows("dsp", "counter")
+        prepared = prepare_campaign(
+            flow.golden_factory(), flow.injected,
+            case_study("dsp").stimulus(8), sensor_type="counter",
+        )
+        expected = tuple(getattr(
+            flow.injected.compiled_class(), "COUNTER_TAP_ORDER", ()
+        ))
+        assert expected, "counter model must declare its tap order"
+        assert all(s.tap_order == expected for s in prepared.shards)
+
+
+# ----------------------------------------------------------------------
+# Regression: per-lane meas_val histograms
+# ----------------------------------------------------------------------
+
+class _FakeCounterModel:
+    """Three-sensor Counter model replaying a fixed meas_val stream."""
+
+    PORTS_OUT = {"q": 8, "metric_ok": 1, "meas_val": 24}
+    COUNTER_TAP_ORDER = ["r0", "r1", "r2"]
+
+    def __init__(self, frames):
+        self._frames = list(frames)
+
+    def b_transport(self, inputs):
+        return {"q": 0, "metric_ok": 1, "meas_val": self._frames.pop(0)}
+
+
+class TestMonitorLanes:
+    def test_zero_lane_below_nonzero_lane_keeps_identity(self):
+        # Regression: `while meas_bus:` swallowed the zero low lane
+        # and attributed lane 1's measurement to the wrong sensor.
+        monitor = TlmSensorMonitor(_FakeCounterModel([5 << 8]))
+        assert monitor.lanes == 3
+        assert monitor.tap_order == ("r0", "r1", "r2")
+        monitor.cycle({})
+        assert monitor.activity.meas_histogram == {1: {5: 1}}
+
+    def test_equal_values_on_distinct_lanes_not_conflated(self):
+        monitor = TlmSensorMonitor(_FakeCounterModel([(7 << 16) | 7]))
+        monitor.cycle({})
+        assert monitor.activity.meas_histogram == {0: {7: 1}, 2: {7: 1}}
+
+    def test_counts_accumulate_per_lane(self):
+        monitor = TlmSensorMonitor(
+            _FakeCounterModel([3 << 8, 3 << 8, (3 << 8) | 2])
+        )
+        for _ in range(3):
+            monitor.cycle({})
+        assert monitor.activity.meas_histogram == {0: {2: 1}, 1: {3: 3}}
+
+    def test_lane_count_falls_back_to_port_width(self):
+        class _NoTaps:
+            PORTS_OUT = {"meas_val": 16}
+
+            def b_transport(self, inputs):
+                return {"meas_val": 1}
+
+        monitor = TlmSensorMonitor(_NoTaps())
+        assert monitor.lanes == 2
+
+    def test_razor_model_has_no_lanes(self):
+        class _Razor:
+            PORTS_OUT = {"q": 8, "razor_err": 1}
+
+            def b_transport(self, inputs):
+                return {"q": 0, "razor_err": 1}
+
+        monitor = TlmSensorMonitor(_Razor())
+        assert monitor.lanes == 0
+        monitor.cycle({})
+        assert monitor.activity.meas_histogram == {}
+        assert monitor.activity.error_pulses == 1
+
+    def test_real_counter_model_keys_by_lane(self, flows):
+        spec = case_study("dsp")
+        flow = flows("dsp", "counter")
+        model = flow.injected.instantiate()
+        model.activate_mutant(0)
+        monitor = TlmSensorMonitor(model)
+        assert monitor.lanes == len(model.COUNTER_TAP_ORDER)
+        for vec in spec.stimulus(spec.mutation_cycles):
+            monitor.cycle(dict(vec))
+        assert monitor.activity.meas_histogram, "mutant 0 must be measured"
+        assert all(
+            0 <= lane < monitor.lanes
+            for lane in monitor.activity.meas_histogram
+        )
