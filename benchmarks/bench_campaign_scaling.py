@@ -24,10 +24,17 @@ sensor types) two ways with the same worker count:
   campaign is prepared (prep overlaps execution), and small campaigns
   backfill slots the big ones leave idle.
 
+Finally measures the **content-addressed result cache**
+(:mod:`repro.mutation.cache`) on the same suite: a cold run against an
+empty cache directory (every verdict executed and stored) followed by
+a warm re-run of the identical suite (every verdict replayed), with
+the hit rate and the cold/warm speedup recorded -- the incremental
+re-verification claim, quantified.
+
 The engine's outcome list is checked for byte-identity between the
-serial, parallel, and shared-pool suite runs (the determinism
-guarantee).  ``--out FILE`` writes the measurements as JSON
-(``BENCH_campaign.json`` in CI).
+serial, parallel, shared-pool, cold-cache and warm-cache runs (the
+determinism guarantee).  ``--out FILE`` writes the measurements as
+JSON (``BENCH_campaign.json`` in CI).
 
 Usage::
 
@@ -46,6 +53,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 
 sys.path.insert(
@@ -56,6 +64,7 @@ from repro.flow import run_flow                              # noqa: E402
 from repro.ips import CASE_STUDIES, case_study               # noqa: E402
 from repro.mutation import (                                 # noqa: E402
     CampaignScheduler,
+    ResultCache,
     run_benchmark_suite,
 )
 from repro.mutation.analysis import (                        # noqa: E402
@@ -202,6 +211,62 @@ def bench_suite(ips, workers, cycles, sensors=("razor", "counter")):
     }
 
 
+def bench_cache(ips, workers, cycles, sensors=("razor", "counter")):
+    """Cold-vs-warm result-cache measurement on the cross-IP suite.
+
+    Flow setup is built once and shared by both runs (and by a
+    cache-less reference run), so the comparison isolates campaign
+    execution against replay: the *cold* run executes every mutant and
+    stores its verdict in a fresh cache directory; the *warm* run
+    re-prepares the identical suite and replays every verdict.  The
+    warm hit rate must be 100% and all three suites' reports must be
+    field-for-field identical.
+    """
+    specs = {name: case_study(name) for name in ips}
+    flows = {
+        (name, sensor): run_flow(specs[name], sensor, run_mutation=False)
+        for name in ips
+        for sensor in sensors
+    }
+
+    def run(cache):
+        started = time.perf_counter()
+        with CampaignScheduler(workers=workers) as scheduler:
+            suite = run_benchmark_suite(
+                list(specs.values()), sensors,
+                workers=workers, mutation_cycles=cycles,
+                scheduler=scheduler, flows=flows, cache=cache,
+            )
+        return time.perf_counter() - started, suite
+
+    reference_s, reference = run(None)
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as tmp:
+        cold_s, cold = run(ResultCache(tmp))
+        warm_s, warm = run(ResultCache(tmp))
+
+    deterministic = all(
+        reference.reports[key] == cold.reports[key] == warm.reports[key]
+        for key in reference.reports
+    )
+    lookups = (warm.cache_hits or 0) + (warm.cache_misses or 0)
+    return {
+        "campaigns": len(reference.reports),
+        "mutants": reference.total_mutants,
+        "workers": workers,
+        "uncached_s": reference_s,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_hits": cold.cache_hits,
+        "cold_misses": cold.cache_misses,
+        "warm_hits": warm.cache_hits,
+        "warm_misses": warm.cache_misses,
+        "warm_hit_rate": (warm.cache_hits or 0) / lookups if lookups
+        else 0.0,
+        "speedup": cold_s / warm_s if warm_s else 0.0,
+        "deterministic": deterministic,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -279,6 +344,28 @@ def main(argv=None) -> int:
         ),
     ))
 
+    cached = bench_cache(suite_ips, args.workers, suite_cycles)
+    print()
+    print(format_table(
+        ["Campaigns", "Mutants",
+         "uncached (s)", "cold cache (s)", "warm cache (s)",
+         "warm hits", "hit rate", "cold/warm speedup", "deterministic"],
+        [[
+            cached["campaigns"], cached["mutants"],
+            f"{cached['uncached_s']:.2f}",
+            f"{cached['cold_s']:.2f}",
+            f"{cached['warm_s']:.2f}",
+            f"{cached['warm_hits']}/{cached['warm_hits'] + cached['warm_misses']}",
+            f"{100.0 * cached['warm_hit_rate']:.1f}%",
+            f"{cached['speedup']:.2f}x",
+            "yes" if cached["deterministic"] else "NO",
+        ]],
+        title=(
+            "Content-addressed result cache: identical suite re-run "
+            "replays verdicts instead of executing mutants"
+        ),
+    ))
+
     if args.out:
         payload = {
             "quick": args.quick,
@@ -286,6 +373,7 @@ def main(argv=None) -> int:
             "sensor": args.sensor,
             "per_ip": per_ip,
             "suite": suite,
+            "cache": cached,
         }
         with open(args.out, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -294,13 +382,17 @@ def main(argv=None) -> int:
 
     per_ip_ok = all(r["deterministic"] for r in per_ip)
     suite_ok = suite["deterministic"]
+    cache_ok = cached["deterministic"] and cached["warm_hit_rate"] >= 0.95
     if not per_ip_ok:
         print("ERROR: parallel report diverged from serial report",
               file=sys.stderr)
     if not suite_ok:
         print("ERROR: shared-pool suite report diverged from the "
               "per-campaign-pool reports", file=sys.stderr)
-    return 0 if per_ip_ok and suite_ok else 1
+    if not cache_ok:
+        print("ERROR: warm-cache suite run diverged from the uncached "
+              "run or missed the >=95% hit-rate bar", file=sys.stderr)
+    return 0 if per_ip_ok and suite_ok and cache_ok else 1
 
 
 if __name__ == "__main__":

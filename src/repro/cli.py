@@ -4,10 +4,11 @@ Commands
 --------
 ``list``
     Show the registered case studies and their operating points.
-``flow <ip> <sensor>``
+``flow <ip> <sensor> [--cache-dir DIR] [--no-cache]``
     Run the full four-step methodology on one IP with ``razor`` or
     ``counter`` sensors and print the campaign summary.
-``mutate <ip> <sensor> [--workers N] [--shard-size M] [--cycles C]``
+``mutate <ip> <sensor> [--workers N] [--shard-size M] [--cycles C]
+[--cache-dir DIR] [--no-cache]``
     Run only the mutation campaign through the sharded engine
     (:mod:`repro.mutation.campaign`).  ``--workers`` distributes the
     mutant shards across worker processes (the report is
@@ -17,14 +18,17 @@ Commands
     (mutants/sec) alongside the Table-5 percentages.  Timed-out
     (stall-budget-truncated) runs are excluded from every percentage
     and called out separately in the summary.
-``bench [--ips a,b] [--sensors razor,counter] [--workers N] ...``
+``bench [--ips a,b] [--sensors razor,counter] [--workers N]
+[--rtl-validation] [--cache-dir DIR] [--no-cache] ...``
     Run the whole cross-IP campaign suite (every selected IP x sensor
     type) on one shared persistent worker pool through the streaming
     scheduler (:mod:`repro.mutation.scheduler`), with live per-shard
     progress lines.  Each campaign's shards enter the shared queue as
     soon as it is prepared, so small campaigns backfill pool slots
     left idle by big ones; the per-campaign reports stay deterministic
-    (identical to standalone ``mutate`` runs).
+    (identical to standalone ``mutate`` runs).  ``--rtl-validation``
+    interleaves each campaign's RTL-validation shards on the same
+    pool and prints a second table with the RTL results.
 ``timing <ip> <sensor> [cycles] [--rtl-exec compiled|interpreted]``
     Measure the RTL / TLM / optimised-TLM simulation times on the IP's
     testbench workload.  ``--rtl-exec both`` additionally times the
@@ -33,6 +37,15 @@ Commands
 ``emit <ip> {vhdl|tlm} [--sensor razor|counter]``
     Print the generated VHDL of the (augmented) IP, or the generated
     TLM Python model.
+
+Result caching
+--------------
+``flow``, ``mutate`` and ``bench`` accept ``--cache-dir DIR``: mutant
+verdicts (TLM and RTL) are stored content-addressed under ``DIR``
+(:class:`repro.mutation.ResultCache`), so a second identical run
+replays instead of re-executing and the summaries report the hit/miss
+split.  ``--no-cache`` forces execution even when ``--cache-dir`` is
+configured.
 """
 
 from __future__ import annotations
@@ -44,7 +57,19 @@ from repro.flow import run_flow, speedup, time_rtl, time_tlm
 from repro.ips import CASE_STUDIES, case_study
 from repro.reporting import format_kv, format_table, mutation_summary_pairs
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
+
+
+def _resolve_cache(args):
+    """The :class:`~repro.mutation.ResultCache` selected by
+    ``--cache-dir`` / ``--no-cache`` (or ``None``)."""
+    from repro.mutation import ResultCache
+
+    if getattr(args, "no_cache", False) or not getattr(
+        args, "cache_dir", None
+    ):
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _cmd_list(_args) -> int:
@@ -64,7 +89,7 @@ def _cmd_list(_args) -> int:
 
 def _cmd_flow(args) -> int:
     spec = case_study(args.ip)
-    result = run_flow(spec, args.sensor)
+    result = run_flow(spec, args.sensor, cache=_resolve_cache(args))
     report = result.mutation
     print(format_kv([
         ("IP", spec.title),
@@ -93,6 +118,7 @@ def _cmd_mutate(args) -> int:
         mutation_cycles=args.cycles,
         workers=args.workers,
         shard_size=args.shard_size,
+        cache=_resolve_cache(args),
     )
     report = result.mutation
     print(format_kv([
@@ -130,6 +156,12 @@ def _progress_printer(stream):
     return emit
 
 
+def _cache_cell(report) -> str:
+    if report.cache_hits is None:
+        return "n.a."
+    return f"{report.cache_hits}/{report.cache_misses}"
+
+
 def _cmd_bench(args) -> int:
     from repro.mutation import CampaignScheduler, run_benchmark_suite
 
@@ -145,6 +177,7 @@ def _cmd_bench(args) -> int:
             print(f"error: unknown sensor type {sensor!r} "
                   "(choose from razor, counter)", file=sys.stderr)
             return 2
+    cache = _resolve_cache(args)
     progress = None if args.no_progress else _progress_printer(sys.stdout)
     with CampaignScheduler(workers=args.workers) as scheduler:
         suite = run_benchmark_suite(
@@ -155,6 +188,9 @@ def _cmd_bench(args) -> int:
             mutation_cycles=args.cycles,
             scheduler=scheduler,
             progress=progress,
+            cache=cache,
+            rtl_validation=args.rtl_validation,
+            rtl_validation_cycles=args.rtl_cycles,
         )
     rows = []
     for (ip, sensor), report in sorted(suite.reports.items()):
@@ -165,11 +201,13 @@ def _cmd_bench(args) -> int:
             if report.corrected_pct is not None else "n.a.",
             f"{report.risen_pct:.1f}%",
             report.timed_out_count,
+            _cache_cell(report),
             f"{report.seconds:.2f}",
         ])
     print(format_table(
         ["IP", "sensor", "judged", "mutants", "killed", "corrected",
-         "errors risen", "timed out (excl.)", "time (s)"],
+         "errors risen", "timed out (excl.)", "cache (hit/miss)",
+         "time (s)"],
         rows,
         title=(
             f"Cross-IP campaign suite: {len(suite.reports)} campaigns "
@@ -177,16 +215,45 @@ def _cmd_bench(args) -> int:
             "exclude timed-out runs"
         ),
     ))
-    print(format_kv([
+    if suite.rtl_reports:
+        rtl_rows = [
+            [ip, sensor, report.total, f"{report.risen_pct:.1f}%",
+             _cache_cell(report), f"{report.seconds:.2f}"]
+            for (ip, sensor), report in sorted(suite.rtl_reports.items())
+        ]
+        print()
+        print(format_table(
+            ["IP", "sensor", "mutants", "errors risen",
+             "cache (hit/miss)", "time (s)"],
+            rtl_rows,
+            title=(
+                "RTL validation (same shared pool, interleaved with "
+                "the TLM shards)"
+            ),
+        ))
+    pairs = [
         ("campaigns", len(suite.reports)),
         ("mutants", suite.total_mutants),
+    ]
+    if suite.rtl_reports:
+        pairs.append(("rtl mutants", suite.total_rtl_mutants))
+    pairs += [
         ("suite time", f"{suite.seconds:.2f} s"),
         ("campaign time (shared pool)", f"{suite.campaign_seconds:.2f} s"),
         ("throughput", f"{suite.mutants_per_second:.2f} mutants/s"),
-    ]))
-    # Same gate as mutate/flow: 100% of judged mutants killed in every
-    # campaign AND no stall-budget truncations anywhere in the suite.
-    return 0 if suite.all_killed and suite.timed_out_count == 0 else 1
+    ]
+    if suite.cache_hits is not None:
+        pairs.append((
+            "result cache",
+            f"{suite.cache_hits} hits / {suite.cache_misses} misses",
+        ))
+    print(format_kv(pairs))
+    # Same gate as mutate/flow -- 100% of judged mutants killed in
+    # every campaign AND no stall-budget truncations -- plus, when RTL
+    # validation ran, cross-level agreement: every Razor RTL report
+    # must have raised its error on every mutant.
+    return 0 if suite.all_killed and suite.timed_out_count == 0 \
+        and suite.rtl_validation_ok else 1
 
 
 def _cmd_timing(args) -> int:
@@ -252,7 +319,22 @@ def _cmd_emit(args) -> int:
     return 0
 
 
-def main(argv: "list[str] | None" = None) -> int:
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent content-addressed result cache: "
+                             "replay known mutant verdicts, store fresh "
+                             "ones")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="force execution even if --cache-dir is set")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro`` argument parser.
+
+    Exposed separately from :func:`main` so tooling (and the doc-sync
+    test in ``tests/test_docs.py``) can introspect every subcommand
+    and flag without executing anything.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cross-level verification of sensor-augmented IPs",
@@ -264,6 +346,7 @@ def main(argv: "list[str] | None" = None) -> int:
     p_flow = sub.add_parser("flow", help="run the full methodology")
     p_flow.add_argument("ip", choices=sorted(CASE_STUDIES))
     p_flow.add_argument("sensor", choices=["razor", "counter"])
+    _add_cache_options(p_flow)
 
     p_mut = sub.add_parser(
         "mutate", help="run the sharded mutation campaign"
@@ -276,6 +359,7 @@ def main(argv: "list[str] | None" = None) -> int:
                        help="mutants per shard (default: auto)")
     p_mut.add_argument("--cycles", type=int, default=None,
                        help="testbench cycles (default: per-IP value)")
+    _add_cache_options(p_mut)
 
     p_bench = sub.add_parser(
         "bench",
@@ -287,7 +371,10 @@ def main(argv: "list[str] | None" = None) -> int:
             "backfill idle slots, campaign preparation overlaps shard "
             "execution), with live per-shard progress lines.  Reported "
             "percentages exclude timed-out (stall-budget-truncated) "
-            "runs."
+            "runs.  With --cache-dir, verdicts are replayed from / "
+            "stored into a content-addressed result cache; with "
+            "--rtl-validation, each campaign's RTL-validation shards "
+            "interleave on the same pool."
         ),
     )
     p_bench.add_argument("--ips", default=None,
@@ -303,6 +390,16 @@ def main(argv: "list[str] | None" = None) -> int:
                          help="testbench cycles (default: per-IP value)")
     p_bench.add_argument("--no-progress", action="store_true",
                          help="suppress the live per-shard progress lines")
+    p_bench.add_argument("--rtl-validation", action="store_true",
+                         help="also run each campaign's RTL validation "
+                              "as shards on the same shared pool")
+    p_bench.add_argument("--rtl-cycles", type=int, default=None,
+                         help="RTL-validation testbench cycles, "
+                              "decoupled from --cycles (default: "
+                              "--cycles, else the per-IP value; short "
+                              "RTL testbenches can legitimately miss "
+                              "100%% risen)")
+    _add_cache_options(p_bench)
 
     p_time = sub.add_parser("timing", help="RTL vs TLM simulation speed")
     p_time.add_argument("ip", choices=sorted(CASE_STUDIES))
@@ -322,8 +419,11 @@ def main(argv: "list[str] | None" = None) -> int:
                         default=None)
     p_emit.add_argument("--variant", choices=["sctypes", "hdtlib"],
                         default="hdtlib")
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
     handler = {
         "list": _cmd_list,
         "flow": _cmd_flow,

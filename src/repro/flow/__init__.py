@@ -1,14 +1,22 @@
 """End-to-end methodology orchestration and timing measurement."""
 
 from .measure import LevelTiming, speedup, time_rtl, time_tlm
-from .pipeline import FlowResult, characterize, run_flow
+from .pipeline import (
+    AugmentationArtifacts,
+    FlowResult,
+    build_augmented,
+    characterize,
+    run_flow,
+)
 
 __all__ = [
     "LevelTiming",
     "speedup",
     "time_rtl",
     "time_tlm",
+    "AugmentationArtifacts",
     "FlowResult",
+    "build_augmented",
     "characterize",
     "run_flow",
 ]

@@ -33,7 +33,13 @@ from repro.sensors import AugmentedIP, insert_sensors
 from repro.sta import CriticalPathReport, StaReport, analyze, bin_critical_paths
 from repro.synth import SynthesisResult, synthesize
 
-__all__ = ["FlowResult", "run_flow", "characterize"]
+__all__ = [
+    "AugmentationArtifacts",
+    "FlowResult",
+    "build_augmented",
+    "characterize",
+    "run_flow",
+]
 
 
 @dataclass
@@ -73,34 +79,37 @@ def characterize(spec: IpSpec):
     return module, clk, synth, sta, critical
 
 
-def run_flow(
+@dataclass(frozen=True)
+class AugmentationArtifacts:
+    """Everything steps 0-1 of the flow produce for one IP x sensor
+    type: characterisation reports, the augmented design and the
+    VHDL line counts bracketing the insertion."""
+
+    synth: SynthesisResult
+    sta: StaReport
+    critical: CriticalPathReport
+    augmented: AugmentedIP
+    original_rtl_loc: int
+    augmented_rtl_loc: int
+
+
+def build_augmented(
     spec: IpSpec,
     sensor_type: str,
     *,
-    mutation_cycles: "int | None" = None,
-    run_mutation: bool = True,
-    run_rtl_validation: bool = False,
-    rtl_validation_cycles: "int | None" = None,
-    workers: int = 1,
-    shard_size: "int | None" = None,
-    scheduler=None,
-    rtl_exec_mode: str = "compiled",
-) -> FlowResult:
-    """Execute the full methodology for one IP and sensor type.
+    exec_mode: str = "compiled",
+) -> AugmentationArtifacts:
+    """Steps 0-1 of the flow: characterise a fresh IP instance and
+    insert sensors at the critical endpoints.
 
-    ``workers`` / ``shard_size`` are forwarded to the sharded mutation-
-    campaign engine (:mod:`repro.mutation.campaign`); the report is
-    deterministic for any worker count.  ``scheduler`` (a
-    :class:`repro.mutation.CampaignScheduler`) lets many ``run_flow``
-    calls share one persistent campaign worker pool instead of paying
-    a pool spin-up per call -- the cross-IP batching entry point
-    :func:`repro.mutation.run_benchmark_suite` builds on exactly this.
-    ``rtl_exec_mode`` selects the
-    RTL kernel execution mode for every event-driven simulation the
-    flow runs (``"compiled"`` closures by default, ``"interpreted"``
-    for the reference IR walker -- see :mod:`repro.rtl.compile`).
+    Deterministic by construction (synthesis, STA, binning and the
+    Counter CPS-bit calibration all derive from the spec alone), so
+    worker processes use it to *reconstruct* an augmented design from
+    just the registry name instead of pickling one -- see
+    :mod:`repro.mutation.rtl_validation`.  :func:`run_flow` builds on
+    exactly this, so the parent's design and a worker's rebuild cannot
+    drift apart.
     """
-    # -- step 0/1: characterise and insert sensors ------------------------
     module, clk, synth, sta, critical = characterize(spec)
     original_rtl_loc = count_loc(emit_vhdl(module))
     calibration = None
@@ -113,9 +122,70 @@ def run_flow(
         critical,
         sensor_type=sensor_type,
         calibration_stimuli=calibration,
-        exec_mode=rtl_exec_mode,
+        exec_mode=exec_mode,
     )
-    augmented_rtl_loc = count_loc(emit_vhdl(module))
+    return AugmentationArtifacts(
+        synth=synth,
+        sta=sta,
+        critical=critical,
+        augmented=augmented,
+        original_rtl_loc=original_rtl_loc,
+        augmented_rtl_loc=count_loc(emit_vhdl(module)),
+    )
+
+
+def run_flow(
+    spec: IpSpec,
+    sensor_type: str,
+    *,
+    mutation_cycles: "int | None" = None,
+    run_mutation: bool = True,
+    run_rtl_validation: bool = False,
+    rtl_validation_cycles: "int | None" = None,
+    workers: int = 1,
+    shard_size: "int | None" = None,
+    scheduler=None,
+    rtl_exec_mode: str = "compiled",
+    cache=None,
+) -> FlowResult:
+    """Execute the full methodology for one IP and sensor type.
+
+    Args:
+        spec: the case study (see :data:`repro.ips.CASE_STUDIES`).
+        sensor_type: ``"razor"`` or ``"counter"``.
+        mutation_cycles / rtl_validation_cycles: testbench lengths
+            (default: the IP's ``mutation_cycles``).
+        run_mutation / run_rtl_validation: enable step 4's TLM
+            campaign and the RTL cross-validation.
+        workers / shard_size: forwarded to the sharded campaign engine
+            (:mod:`repro.mutation.campaign`) *and* to the RTL
+            validation shards.
+        scheduler: a :class:`repro.mutation.CampaignScheduler` letting
+            many ``run_flow`` calls (and the RTL validation) share one
+            persistent worker pool instead of paying a pool spin-up
+            per call -- the cross-IP batching entry point
+            :func:`repro.mutation.run_benchmark_suite` builds on
+            exactly this.
+        rtl_exec_mode: RTL kernel execution mode for every
+            event-driven simulation the flow runs (``"compiled"``
+            closures by default, ``"interpreted"`` for the reference
+            IR walker -- see :mod:`repro.rtl.compile`).
+        cache: a :class:`repro.mutation.ResultCache`; campaign and
+            RTL-validation verdicts are replayed from it when their
+            content-addressed keys match, and written back otherwise.
+
+    Returns:
+        A :class:`FlowResult` carrying every artefact of the four
+        steps.  The mutation report is deterministic for any worker
+        count and cache state.
+    """
+    # -- step 0/1: characterise and insert sensors ------------------------
+    artifacts = build_augmented(spec, sensor_type, exec_mode=rtl_exec_mode)
+    synth, sta, critical = artifacts.synth, artifacts.sta, artifacts.critical
+    augmented = artifacts.augmented
+    module = augmented.module
+    original_rtl_loc = artifacts.original_rtl_loc
+    augmented_rtl_loc = artifacts.augmented_rtl_loc
 
     # -- step 2: RTL-to-TLM abstraction, both data-type variants ------------
     tlm_standard = generate_tlm(
@@ -162,27 +232,27 @@ def run_flow(
             workers=workers,
             shard_size=shard_size,
             scheduler=scheduler,
+            cache=cache,
         )
 
     if run_rtl_validation:
+        from repro.ips import rebuild_recipe
+
         stimuli = spec.stimulus(rtl_validation_cycles)
-        input_ports = {p.name: p for p in augmented.module.inputs()}
-        extra = {}
-        if sensor_type == "razor":
-            extra[augmented.bank.recovery] = 0
-
-        def drive(sim, i):
-            vec = stimuli[i % len(stimuli)]
-            pokes = {input_ports[k]: v for k, v in vec.items()}
-            pokes.update(extra)
-            sim.cycle(pokes)
-
         result.rtl_validation = validate_at_rtl(
             augmented,
             injected.mutants,
-            drive,
+            stimuli=stimuli,
             cycles=rtl_validation_cycles,
             ip_name=spec.name,
             exec_mode=rtl_exec_mode,
+            # Worker processes rebuild the augmentation from the
+            # registry; an unregistered ad-hoc spec keeps the shards
+            # in the parent process.
+            rebuild=rebuild_recipe(spec),
+            workers=workers,
+            shard_size=shard_size,
+            scheduler=scheduler,
+            cache=cache,
         )
     return result

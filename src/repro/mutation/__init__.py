@@ -23,7 +23,14 @@ Three consumption styles share that machinery:
 * :func:`run_benchmark_suite` -- cross-IP batching: every
   ``IP x sensor type`` campaign prepared up front, shards interleaved
   round-robin on one shared pool so small campaigns backfill idle
-  slots.
+  slots (``rtl_validation=True`` interleaves
+  :class:`RtlValidationShard` units on the same pool).
+
+All four styles accept ``cache=`` (a :class:`ResultCache` from
+:mod:`repro.mutation.cache`): verdicts are content-addressed by
+(model fingerprint, stimuli/golden hash, mutant spec, sensor type,
+judgement parameters), so re-running an unchanged campaign replays
+instantly and only mutants invalidated by a real change execute.
 
 Score accounting excludes timed-out (stall-budget-truncated) runs from
 every aggregate percentage -- see
@@ -39,6 +46,7 @@ from .analysis import (
     compute_golden_trace,
     run_mutation_analysis,
 )
+from .cache import ResultCache
 from .campaign import (
     CampaignShard,
     PreparedCampaign,
@@ -48,8 +56,11 @@ from .campaign import (
     shard_indices,
 )
 from .rtl_validation import (
+    PreparedRtlValidation,
     RtlMutantOutcome,
     RtlValidationReport,
+    RtlValidationShard,
+    prepare_rtl_validation,
     validate_at_rtl,
 )
 from .saboteurs import Saboteur, insert_saboteur
@@ -85,7 +96,11 @@ __all__ = [
     "SuiteResult",
     "iter_campaign",
     "run_benchmark_suite",
+    "ResultCache",
+    "PreparedRtlValidation",
     "RtlMutantOutcome",
     "RtlValidationReport",
+    "RtlValidationShard",
+    "prepare_rtl_validation",
     "validate_at_rtl",
 ]

@@ -92,7 +92,16 @@ class MutationReport:
     variant: str
     outcomes: "list[MutantOutcome]" = field(default_factory=list)
     cycles_per_run: int = 0
-    seconds: float = 0.0
+    #: Wall-clock campaign time -- runtime metadata, not a verdict, so
+    #: it is excluded from report equality (two reports are equal iff
+    #: every *scored* field matches).
+    seconds: float = field(default=0.0, compare=False)
+    #: Result-cache accounting for this campaign: ``None`` when no
+    #: cache was in play, otherwise replayed / executed mutant counts.
+    #: ``compare=False`` keeps cached and uncached reports equal on
+    #: every scored field -- the cache must never change a verdict.
+    cache_hits: "int | None" = field(default=None, compare=False)
+    cache_misses: "int | None" = field(default=None, compare=False)
 
     @property
     def total(self) -> int:
@@ -140,8 +149,14 @@ class MutationReport:
 
     @property
     def mutants_per_second(self) -> float:
-        """Campaign throughput (mutants evaluated per wall-clock second)."""
-        return self.total / self.seconds if self.seconds > 0 else 0.0
+        """Campaign throughput: mutants actually *executed* per
+        wall-clock second.  Cache-replayed verdicts are excluded (a
+        fully-warm campaign reports 0.0 rather than a replay rate
+        mislabelled as execution), matching
+        :attr:`repro.mutation.scheduler.SuiteResult.mutants_per_second`."""
+        if self.seconds <= 0:
+            return 0.0
+        return (self.total - (self.cache_hits or 0)) / self.seconds
 
     @property
     def mutation_score(self) -> float:
@@ -230,6 +245,7 @@ def run_mutation_analysis(
     shard_size: "int | None" = None,
     scheduler=None,
     progress=None,
+    cache=None,
 ) -> MutationReport:
     """Run the full campaign: one golden/injected pair per mutant.
 
@@ -240,15 +256,21 @@ def run_mutation_analysis(
     (``scheduler=`` shares one persistent
     :class:`~repro.mutation.scheduler.CampaignScheduler` pool across
     campaigns; ``progress=`` receives per-shard
-    :class:`~repro.mutation.scheduler.CampaignProgress` callbacks).
+    :class:`~repro.mutation.scheduler.CampaignProgress` callbacks;
+    ``cache=`` replays previously-computed verdicts from a
+    :class:`~repro.mutation.cache.ResultCache`).
     The merged report is deterministic -- byte-identical outcomes and
-    percentages for any ``workers`` / ``shard_size`` combination.
+    percentages for any ``workers`` / ``shard_size`` / cache state
+    combination.
 
     ``golden_factory()`` must return a fresh non-injected model;
     ``injected`` is the ADAM-generated model description (a fresh
     instance is created per mutant).  ``tap_order`` gives the register
     order of the Counter ``meas_val`` bus (resolved lazily, and only
     for Counter campaigns, when omitted).
+
+    Returns the merged :class:`MutationReport` (outcomes in mutant-
+    index order; aggregate percentages exclude timed-out runs).
     """
     from .campaign import run_campaign
 
@@ -264,6 +286,7 @@ def run_mutation_analysis(
         shard_size=shard_size,
         scheduler=scheduler,
         progress=progress,
+        cache=cache,
     )
 
 

@@ -1,0 +1,397 @@
+"""Content-addressed campaign result cache (incremental re-verification).
+
+The paper's methodology is iterative: the same IPs are re-verified
+after every sensor-insertion or netlist change, yet a mutant's verdict
+is a pure function of a small set of inputs.  This module captures
+that function's domain as a **content-addressed key** so re-running a
+campaign (or a whole cross-IP suite) replays previously-computed
+:class:`~repro.mutation.analysis.MutantOutcome`s instantly and only
+executes mutants invalidated by a *real* change.
+
+Every TLM entry is keyed by the five components the verdict actually
+depends on:
+
+1. the **structural fingerprint** of the mutant-injected generated
+   model (:func:`model_fingerprint`) -- the generated source with the
+   ``MUTANTS`` table masked out, so editing one mutant spec does not
+   invalidate its siblings' entries;
+2. the **stimuli hash** (:func:`stimuli_hash`) and the **golden-trace
+   hash** (:func:`golden_trace_hash`) -- the reference the mutant is
+   judged against;
+3. the **mutant spec** itself (kind, target signal, HF tick, monitored
+   register) -- positional index is deliberately *not* part of the key
+   (reordering the table must not invalidate), and cached outcomes are
+   re-indexed on replay;
+4. the **sensor type**;
+5. the **judgement parameters** (the recovery bit, the Counter tap
+   order).
+
+RTL-validation entries are keyed analogously via
+:func:`rtl_fingerprint` (emitted VHDL + back-annotated nominal delays
++ clocking) and :func:`rtl_entry_key`.  The kernel execution mode
+(``compiled`` / ``interpreted``) is deliberately **excluded** from RTL
+keys: the two modes are lockstep-equivalent by construction (see
+:mod:`repro.rtl.compile` and ``tests/test_compiled_kernel.py``), so a
+mode switch replays instead of re-executing.
+
+Storage is one JSON object per entry under
+``<root>/objects/<key[:2]>/<key>.json`` with atomic writes
+(temp-file + ``os.replace``), so concurrent campaigns sharing a cache
+directory never observe torn entries.  ``ResultCache(None)`` keeps the
+store in memory -- same semantics, no filesystem.
+
+Determinism note: replayed outcomes are field-for-field identical to
+freshly-executed ones (covered by ``tests/test_cache.py``), so a
+cached report equals an uncached report on every scored field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "decode_outcome",
+    "decode_rtl_outcome",
+    "encode_outcome",
+    "encode_rtl_outcome",
+    "golden_trace_hash",
+    "model_fingerprint",
+    "mutant_entry_key",
+    "rtl_entry_key",
+    "rtl_fingerprint",
+    "stimuli_hash",
+]
+
+#: Bump to orphan every existing entry (schema is part of every key).
+CACHE_SCHEMA = 1
+
+
+def _digest(parts) -> str:
+    """SHA-256 over a ``repr``-canonicalised tuple of key components."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Key components
+# ---------------------------------------------------------------------------
+
+_MUTANT_TABLE_PREFIX = "MUTANTS ="
+
+
+def model_fingerprint(gen) -> str:
+    """Structural fingerprint of a generated TLM model.
+
+    Hashes the generated source with the ``MUTANTS`` table literal
+    masked out (plus the class name, data-type variant and scheduler
+    kind).  The mutant table is the *only* generated line that changes
+    when a mutant spec is edited, so masking it gives per-mutant
+    invalidation: the edited spec misses (its spec is part of the
+    entry key), its siblings still hit.  Any other source change --
+    new sensor, different LUT thresholds, different tap order --
+    changes the fingerprint and invalidates every entry, as it must.
+    """
+    lines = [
+        "<MUTANTS>" if line.lstrip().startswith(_MUTANT_TABLE_PREFIX)
+        else line
+        for line in gen.source.splitlines()
+    ]
+    return _digest(
+        (gen.class_name, gen.variant, gen.scheduler_kind, "\n".join(lines))
+    )
+
+
+def stimuli_hash(stimuli) -> str:
+    """Digest of a stimulus sequence (``name -> int`` vectors per
+    cycle).  Key order inside a vector is canonicalised away; vector
+    *sequence* order is significant."""
+    return _digest(tuple(tuple(sorted(vec.items())) for vec in stimuli))
+
+
+def golden_trace_hash(golden) -> str:
+    """Digest of a :class:`~repro.mutation.analysis.GoldenTrace`.
+
+    The golden trace already folds together the golden model, the
+    stimuli, the sensor type and the recovery bit, so hashing it
+    captures "the reference this mutant was judged against" in one
+    component.
+    """
+    return _digest((
+        golden.functional_ports,
+        tuple(tuple(sorted(outs.items())) for outs in golden.full),
+    ))
+
+
+def _spec_key(spec) -> tuple:
+    return (spec.kind, spec.target, spec.hf_tick, spec.register)
+
+
+def mutant_entry_key(
+    model_fp: str,
+    stim_hash: str,
+    golden_hash: str,
+    sensor_type: str,
+    spec,
+    *,
+    recovery: bool,
+    tap_order=(),
+) -> str:
+    """Entry key for one TLM mutant verdict.
+
+    The mutant's positional index is deliberately excluded: it does
+    not influence the verdict (``MUTANTS[index]`` lookups read only
+    the spec tuple), and replayed outcomes are re-indexed by the
+    caller.
+    """
+    return _digest((
+        "tlm",
+        CACHE_SCHEMA,
+        model_fp,
+        stim_hash,
+        golden_hash,
+        sensor_type,
+        _spec_key(spec),
+        bool(recovery),
+        tuple(tap_order),
+    ))
+
+
+def rtl_fingerprint(augmented) -> str:
+    """Structural fingerprint of an augmented RTL design.
+
+    Combines the emitted VHDL (the full structural rendering,
+    including sensor-bank instances) with everything the simulator
+    back-annotates outside the VHDL text: per-endpoint nominal delays,
+    the main clock period, the HF ratio and -- for Counter banks --
+    the per-tap LUT thresholds and CPS bit choices.
+    """
+    from repro.rtl import emit_vhdl
+
+    taps = []
+    for tap in augmented.bank.taps:
+        entry = [tap.register.name, tap.endpoint.name, tap.nominal_delay_ps]
+        if augmented.sensor_type == "counter":
+            entry += [tap.lut_threshold, tap.cps_index]
+        taps.append(tuple(entry))
+    return _digest((
+        "rtl",
+        emit_vhdl(augmented.module),
+        augmented.sensor_type,
+        augmented.main_period_ps,
+        augmented.hf_ratio,
+        tuple(sorted(taps)),
+    ))
+
+
+def rtl_entry_key(
+    rtl_fp: str,
+    stim_hash: str,
+    cycles: int,
+    recovery_value: int,
+    spec,
+) -> str:
+    """Entry key for one RTL-validation mutant verdict."""
+    return _digest((
+        "rtl",
+        CACHE_SCHEMA,
+        rtl_fp,
+        stim_hash,
+        int(cycles),
+        int(recovery_value),
+        _spec_key(spec),
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Outcome (de)serialisation
+# ---------------------------------------------------------------------------
+
+def encode_outcome(outcome) -> dict:
+    """JSON payload for a :class:`MutantOutcome` (all verdict fields;
+    the positional index is stored for debugging but rewritten on
+    replay)."""
+    return {
+        "index": outcome.index,
+        "kind": outcome.kind,
+        "target": outcome.target,
+        "register": outcome.register,
+        "hf_tick": outcome.hf_tick,
+        "killed": outcome.killed,
+        "detected": outcome.detected,
+        "error_risen": outcome.error_risen,
+        "corrected": outcome.corrected,
+        "meas_val": outcome.meas_val,
+        "first_divergence": outcome.first_divergence,
+        "timed_out": outcome.timed_out,
+    }
+
+
+def decode_outcome(payload: dict, index: int):
+    """Rebuild a :class:`MutantOutcome` from a cache payload, re-indexed
+    to the mutant's *current* position in the table."""
+    from .analysis import MutantOutcome
+
+    return MutantOutcome(
+        index=index,
+        kind=payload["kind"],
+        target=payload["target"],
+        register=payload["register"],
+        hf_tick=payload["hf_tick"],
+        killed=payload["killed"],
+        detected=payload["detected"],
+        error_risen=payload["error_risen"],
+        corrected=payload["corrected"],
+        meas_val=payload["meas_val"],
+        first_divergence=payload["first_divergence"],
+        timed_out=payload["timed_out"],
+    )
+
+
+def encode_rtl_outcome(outcome) -> dict:
+    """JSON payload for an :class:`RtlMutantOutcome`."""
+    spec = outcome.spec
+    return {
+        "index": outcome.index,
+        "spec": {
+            "kind": spec.kind,
+            "target": spec.target,
+            "hf_tick": spec.hf_tick,
+            "register": spec.register,
+        },
+        "error_risen": outcome.error_risen,
+        "meas_val": outcome.meas_val,
+    }
+
+
+def decode_rtl_outcome(payload: dict, index: int):
+    """Rebuild an :class:`RtlMutantOutcome` from a cache payload."""
+    from repro.abstraction.codegen import MutantSpec
+
+    from .rtl_validation import RtlMutantOutcome
+
+    spec = payload["spec"]
+    return RtlMutantOutcome(
+        spec=MutantSpec(
+            kind=spec["kind"],
+            target=spec["target"],
+            hf_tick=spec["hf_tick"],
+            register=spec["register"],
+        ),
+        error_risen=payload["error_risen"],
+        meas_val=payload["meas_val"],
+        index=index,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Persistent, content-addressed store of mutant verdicts.
+
+    Args:
+        root: cache directory (created lazily on first write).  Pass
+            ``None`` for an in-memory store with identical semantics
+            -- useful for tests and for sharing results inside one
+            process without touching the filesystem.
+
+    Entries are immutable by construction (the key digests every input
+    of the computation), so there is no eviction or coherence
+    protocol: a key either resolves to the one correct payload or is
+    absent.  Writes are atomic (temp file + ``os.replace``); a torn or
+    corrupt file reads as a miss and is rewritten.
+
+    The instance counts its own ``hits`` / ``misses`` cumulatively;
+    per-campaign counts are reported by
+    :class:`~repro.mutation.MutationReport.cache_hits` /
+    ``cache_misses`` on each report.
+    """
+
+    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+        self.root = os.fspath(root) if root is not None else None
+        self._mem: "dict[str, dict]" = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, "objects", key[:2], key + ".json")
+
+    def get(self, key: str) -> "dict | None":
+        """Payload stored under ``key``, or ``None`` (a miss).  Updates
+        the hit/miss counters."""
+        if self.root is None:
+            payload = self._mem.get(key)
+        else:
+            try:
+                with open(self._path(key)) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                payload = None
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` (atomic on disk)."""
+        if self.root is None:
+            self._mem[key] = payload
+            return
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def probe(self, keys, decode):
+        """Look up a whole campaign's entry keys at once.
+
+        ``decode(payload, index)`` rebuilds the outcome for position
+        ``index`` (e.g. :func:`decode_outcome` /
+        :func:`decode_rtl_outcome`).  Returns
+        ``(cached_outcomes, miss_indices)`` -- the shared probe step
+        of :func:`repro.mutation.campaign.prepare_campaign` and
+        :func:`repro.mutation.rtl_validation.prepare_rtl_validation`,
+        so their hit/miss semantics cannot drift apart.
+        """
+        cached = []
+        miss_indices = []
+        for index, key in enumerate(keys):
+            payload = self.get(key)
+            if payload is None:
+                miss_indices.append(index)
+            else:
+                cached.append(decode(payload, index))
+        return cached, miss_indices
+
+    def __len__(self) -> int:
+        """Number of stored entries (walks the store)."""
+        if self.root is None:
+            return len(self._mem)
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return 0
+        return sum(
+            len([f for f in files if f.endswith(".json")])
+            for _, _, files in os.walk(objects)
+        )

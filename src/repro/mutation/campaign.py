@@ -22,7 +22,12 @@ source.  The engine amortises both:
    merged back in mutant-index order, so the report is
    **deterministic** -- byte-identical outcomes and percentages for
    any ``workers`` / ``shard_size`` combination, including the inline
-   ``workers=1`` path.
+   ``workers=1`` path;
+4. with a :class:`~repro.mutation.cache.ResultCache` (``cache=``),
+   previously-computed verdicts are **replayed** instead of executed:
+   :func:`prepare_campaign` probes the cache per mutant, shards only
+   the misses, and carries the replayed outcomes (plus per-mutant
+   entry keys for write-back) on the :class:`PreparedCampaign`.
 
 This module owns campaign *preparation* (tap-order resolution, golden
 memoisation, shard construction -- :func:`prepare_campaign`) and the
@@ -68,14 +73,47 @@ class CampaignShard:
     recovery: bool
     tap_order: "tuple[str, ...]"
 
+    #: A TLM shard is always safe to pickle to a worker process.
+    inline_only = False
+
+    def run(self) -> "list":
+        """Evaluate the shard's mutants (in a worker process, or inline
+        for ``workers=1``).  The generated model class is compiled once
+        per process via the :meth:`GeneratedTlm.compiled_class` cache;
+        each mutant then pays only construction + simulation."""
+        stimuli = list(self.stimuli)
+        tap_order = list(self.tap_order)
+        specs = self.injected.mutants
+        outcomes = []
+        for index in self.indices:
+            mutant = self.injected.instantiate()
+            mutant.activate_mutant(index)
+            spec = specs[index]
+            if self.sensor_type == "razor":
+                outcomes.append(_run_razor_mutant(
+                    index, spec, mutant, stimuli, self.recovery, self.golden
+                ))
+            else:
+                outcomes.append(_run_counter_mutant(
+                    index, spec, mutant, stimuli, tap_order, self.golden
+                ))
+        return outcomes
+
 
 @dataclass(frozen=True)
 class PreparedCampaign:
     """A campaign lowered to its schedulable form: the shard list plus
     the metadata needed to assemble the merged :class:`MutationReport`.
-    Preparation (golden trace, tap order) runs once in the parent; the
-    shards are then free to execute on any pool, interleaved with
-    shards from other campaigns."""
+    Preparation (golden trace, tap order, cache probe) runs once in the
+    parent; the shards are then free to execute on any pool,
+    interleaved with shards from other campaigns.
+
+    When prepared against a :class:`~repro.mutation.cache.ResultCache`,
+    ``shards`` covers only the cache *misses*; the replayed verdicts
+    sit in ``cached_outcomes`` (already re-indexed) and ``cache_keys``
+    maps every mutant index to its entry key so executed outcomes can
+    be written back.
+    """
 
     ip_name: str
     sensor_type: str
@@ -83,6 +121,19 @@ class PreparedCampaign:
     cycles_per_run: int
     total: int
     shards: "tuple[CampaignShard, ...]"
+    #: Verdicts replayed from the result cache (empty without a cache).
+    cached_outcomes: "tuple" = ()
+    #: Per-mutant-index entry keys (``None`` when prepared cache-less).
+    cache_keys: "tuple[str, ...] | None" = None
+    cache_hits: "int | None" = None
+    cache_misses: "int | None" = None
+
+    @property
+    def total_shards(self) -> int:
+        """Shard count as seen by progress accounting: the executable
+        shards plus one virtual "replay shard" when cached outcomes
+        exist (they are absorbed as a single batch)."""
+        return len(self.shards) + (1 if self.cached_outcomes else 0)
 
     def build_report(self, outcomes, seconds: float = 0.0) -> MutationReport:
         """Assemble the deterministic merged report: outcomes sorted
@@ -96,9 +147,28 @@ class PreparedCampaign:
             variant=self.variant,
             outcomes=sorted(outcomes, key=lambda o: o.index),
             cycles_per_run=self.cycles_per_run,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
         )
         report.seconds = seconds
         return report
+
+
+def _shard_sequence(
+    indices: "list[int]", workers: int, shard_size: "int | None" = None
+) -> "list[tuple[int, ...]]":
+    """Partition an arbitrary index list into contiguous shards (the
+    cache-aware generalisation of :func:`shard_indices`: after a cache
+    probe the miss indices need not be contiguous)."""
+    if not indices:
+        return []
+    if shard_size is None:
+        shard_size = -(-len(indices) // max(1, workers))
+    shard_size = max(1, shard_size)
+    return [
+        tuple(indices[lo:lo + shard_size])
+        for lo in range(0, len(indices), shard_size)
+    ]
 
 
 def shard_indices(
@@ -114,13 +184,7 @@ def shard_indices(
     """
     if total <= 0:
         return []
-    if shard_size is None:
-        shard_size = -(-total // max(1, workers))
-    shard_size = max(1, shard_size)
-    return [
-        tuple(range(lo, min(lo + shard_size, total)))
-        for lo in range(0, total, shard_size)
-    ]
+    return _shard_sequence(list(range(total)), workers, shard_size)
 
 
 def resolve_tap_order(
@@ -152,28 +216,12 @@ def resolve_tap_order(
     return tuple(tap_order)
 
 
-def _run_shard(shard: CampaignShard) -> "list":
-    """Evaluate one shard (runs in a worker process, or inline for
-    ``workers=1``).  The generated model class is compiled once per
-    process via the :meth:`GeneratedTlm.compiled_class` cache; each
-    mutant then pays only construction + simulation."""
-    stimuli = list(shard.stimuli)
-    tap_order = list(shard.tap_order)
-    specs = shard.injected.mutants
-    outcomes = []
-    for index in shard.indices:
-        mutant = shard.injected.instantiate()
-        mutant.activate_mutant(index)
-        spec = specs[index]
-        if shard.sensor_type == "razor":
-            outcomes.append(_run_razor_mutant(
-                index, spec, mutant, stimuli, shard.recovery, shard.golden
-            ))
-        else:
-            outcomes.append(_run_counter_mutant(
-                index, spec, mutant, stimuli, tap_order, shard.golden
-            ))
-    return outcomes
+def _run_shard(shard) -> "list":
+    """Execute any shard kind by its ``run()`` method.  Module-level so
+    :class:`~concurrent.futures.ProcessPoolExecutor` submissions can
+    pickle it by reference; dispatches to :meth:`CampaignShard.run` or
+    :meth:`repro.mutation.rtl_validation.RtlValidationShard.run`."""
+    return shard.run()
 
 
 def _resolve_golden_model(golden):
@@ -197,14 +245,22 @@ def prepare_campaign(
     tap_order: "list[str] | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
+    cache=None,
 ) -> PreparedCampaign:
     """Run the mutant-independent campaign setup once.
 
     Simulates the golden model (exactly once, regardless of the mutant
     count), resolves the Counter tap order lazily (razor campaigns
-    skip the generated-source probe entirely), and partitions the
-    mutant indices into :class:`CampaignShard` work units sized for
-    ``workers`` / ``shard_size``.
+    skip the generated-source probe entirely), probes ``cache`` (a
+    :class:`~repro.mutation.cache.ResultCache`) for already-known
+    verdicts, and partitions the remaining mutant indices into
+    :class:`CampaignShard` work units sized for ``workers`` /
+    ``shard_size``.
+
+    Returns a :class:`PreparedCampaign` whose ``shards`` cover exactly
+    the cache misses (every mutant, when ``cache`` is ``None``);
+    replayed verdicts are carried in ``cached_outcomes``, re-indexed
+    to the current mutant table.
     """
     specs = injected.mutants
     taps = resolve_tap_order(injected, sensor_type, tap_order)
@@ -213,6 +269,35 @@ def prepare_campaign(
     golden_trace = compute_golden_trace(
         golden_model, stimuli, sensor_type=sensor_type, recovery=recovery
     )
+
+    cached_outcomes: "list" = []
+    cache_keys = None
+    hits = misses = None
+    miss_indices = list(range(len(specs)))
+    if cache is not None:
+        from .cache import (
+            decode_outcome,
+            golden_trace_hash,
+            model_fingerprint,
+            mutant_entry_key,
+            stimuli_hash,
+        )
+
+        model_fp = model_fingerprint(injected)
+        stim_hash = stimuli_hash(stimuli)
+        golden_hash = golden_trace_hash(golden_trace)
+        cache_keys = tuple(
+            mutant_entry_key(
+                model_fp, stim_hash, golden_hash, sensor_type, spec,
+                recovery=recovery, tap_order=taps,
+            )
+            for spec in specs
+        )
+        cached_outcomes, miss_indices = cache.probe(
+            cache_keys, decode_outcome
+        )
+        hits = len(cached_outcomes)
+        misses = len(miss_indices)
 
     shards = tuple(
         CampaignShard(
@@ -224,7 +309,7 @@ def prepare_campaign(
             recovery=recovery,
             tap_order=taps,
         )
-        for indices in shard_indices(len(specs), workers, shard_size)
+        for indices in _shard_sequence(miss_indices, workers, shard_size)
     )
     return PreparedCampaign(
         ip_name=ip_name,
@@ -233,6 +318,10 @@ def prepare_campaign(
         cycles_per_run=len(stimuli),
         total=len(specs),
         shards=shards,
+        cached_outcomes=tuple(cached_outcomes),
+        cache_keys=cache_keys,
+        cache_hits=hits,
+        cache_misses=misses,
     )
 
 
@@ -249,24 +338,38 @@ def run_campaign(
     shard_size: "int | None" = None,
     scheduler=None,
     progress=None,
+    cache=None,
 ) -> MutationReport:
     """Run a full mutation campaign, sharded across ``workers``.
 
-    ``golden`` is the non-injected reference: a factory callable, a
-    :class:`GeneratedTlm`, or a constructed model.  It is simulated
-    exactly once, regardless of the mutant count.  ``injected`` is the
-    ADAM-generated description; a fresh instance is created per mutant
-    from a per-process compiled class.  ``shard_size`` overrides the
-    automatic one-shard-per-worker batching.
+    Args:
+        golden: the non-injected reference -- a factory callable, a
+            :class:`GeneratedTlm`, or a constructed model.  It is
+            simulated exactly once, regardless of the mutant count.
+        injected: the ADAM-generated description; a fresh instance is
+            created per mutant from a per-process compiled class.
+        stimuli: per-cycle ``name -> int`` input vectors.
+        workers / shard_size: shard sizing (``shard_size`` overrides
+            the automatic one-shard-per-worker batching).
+        scheduler: a
+            :class:`~repro.mutation.scheduler.CampaignScheduler` to
+            reuse one persistent worker pool across many campaigns
+            instead of paying a pool spin-up per call (``workers`` is
+            then ignored in favour of ``scheduler.workers``).
+        progress: per-shard
+            :class:`~repro.mutation.scheduler.CampaignProgress`
+            callback.
+        cache: a :class:`~repro.mutation.cache.ResultCache`; known
+            verdicts are replayed instead of executed, and fresh
+            verdicts are written back as their shards complete.
 
-    Execution streams through the scheduler machinery
-    (:func:`repro.mutation.scheduler.stream_prepared`); pass
-    ``scheduler=`` (a :class:`~repro.mutation.scheduler.CampaignScheduler`)
-    to reuse one persistent worker pool across many campaigns instead
-    of paying a pool spin-up per call, and ``progress=`` for per-shard
-    :class:`~repro.mutation.scheduler.CampaignProgress` callbacks.
-    The merged report is deterministic -- byte-identical for any
-    ``workers`` / ``shard_size`` / ``scheduler`` combination.
+    Returns:
+        The merged :class:`MutationReport`, with ``cache_hits`` /
+        ``cache_misses`` set when a cache was in play.
+
+    Determinism: the report is byte-identical on every scored field
+    for any ``workers`` / ``shard_size`` / ``scheduler`` combination
+    and for any cache state (cold, warm, or partial).
     """
     from .scheduler import _ephemeral_width, _leased_scheduler, stream_prepared
 
@@ -281,11 +384,14 @@ def run_campaign(
         tap_order=tap_order,
         workers=workers if scheduler is None else scheduler.workers,
         shard_size=shard_size,
+        cache=cache,
     )
     with _leased_scheduler(
         scheduler, _ephemeral_width(workers, prepared)
     ) as sched:
-        outcomes = list(stream_prepared(sched, prepared, progress=progress))
+        outcomes = list(stream_prepared(
+            sched, prepared, progress=progress, cache=cache
+        ))
     return prepared.build_report(
         outcomes, seconds=time.perf_counter() - started
     )

@@ -25,7 +25,20 @@ single persistent worker pool:
   execution of earlier ones), and the shared queue lets short
   campaigns backfill pool slots left idle while the long ones drain --
   no per-campaign serialisation barrier, one pool warm for the whole
-  regression.
+  regression.  With ``rtl_validation=True`` the suite also lowers
+  every campaign's RTL-validation mutants to
+  :class:`~repro.mutation.rtl_validation.RtlValidationShard` work
+  units on the *same* pool, so TLM campaigns and RTL validations
+  interleave on one executor instead of the historical serial
+  per-mutant loop.
+
+Every entry point threads ``cache=`` (a
+:class:`~repro.mutation.cache.ResultCache`) through
+:func:`~repro.mutation.campaign.prepare_campaign`: known verdicts are
+replayed instantly as a virtual first shard, only cache misses are
+submitted, and fresh verdicts are written back as their shards
+complete -- so a warm re-run of an unchanged suite executes (nearly)
+nothing.
 
 Score accounting in the merged reports follows
 :class:`repro.mutation.analysis.MutationReport`: timed-out runs are
@@ -176,7 +189,7 @@ class _CampaignTracker:
             survivors=self.survivors,
             timed_out=self.timed_out,
             shards_done=self.shards_done,
-            shards_total=len(p.shards),
+            shards_total=p.total_shards,
             aborted=self.aborted,
         )
 
@@ -186,11 +199,21 @@ class CampaignScheduler:
 
     The pool is created lazily on first submission and lives until
     :meth:`shutdown` (or context-manager exit), so a whole regression
-    -- every IP x sensor type, plus ad-hoc :func:`iter_campaign`
-    streams -- reuses warm worker processes instead of forking a fresh
-    pool per campaign.  ``workers=1`` never creates processes: shards
-    run inline at submission time, which keeps the single-worker path
-    deterministic and dependency-free.
+    -- every IP x sensor type, TLM campaigns and RTL validations,
+    plus ad-hoc :func:`iter_campaign` streams -- reuses warm worker
+    processes instead of forking a fresh pool per campaign.
+    ``workers=1`` never creates processes: shards run inline at
+    submission time, which keeps the single-worker path deterministic
+    and dependency-free.
+
+    The scheduler is shard-kind agnostic: anything with a ``run()``
+    method and (for pool execution) a picklable payload is accepted --
+    :class:`~repro.mutation.campaign.CampaignShard` and
+    :class:`~repro.mutation.rtl_validation.RtlValidationShard` today.
+    Shards flagged ``inline_only`` (an RTL shard carrying a live
+    :class:`~repro.sensors.insertion.AugmentedIP` or an opaque drive
+    callable, neither of which pickles) execute in the parent process
+    even when a pool exists.
     """
 
     def __init__(self, workers: int = 1) -> None:
@@ -209,12 +232,13 @@ class CampaignScheduler:
         return self._pool
 
     def submit(self, shard) -> Future:
-        """Submit one :class:`CampaignShard`; returns a future of its
-        outcome list.  Inline mode (``workers=1``) executes the shard
-        eagerly and returns an already-resolved future."""
+        """Submit one shard; returns a future of its outcome list.
+        Inline mode (``workers=1``), and any shard flagged
+        ``inline_only``, executes eagerly in the parent and returns an
+        already-resolved future."""
         if self._closed:
             raise RuntimeError("scheduler has been shut down")
-        if self.workers <= 1:
+        if self.workers <= 1 or getattr(shard, "inline_only", False):
             future: Future = Future()
             try:
                 future.set_result(_run_shard(shard))
@@ -224,6 +248,9 @@ class CampaignScheduler:
         return self.pool().submit(_run_shard, shard)
 
     def shutdown(self, wait: bool = True) -> None:
+        """Close the scheduler and tear down the pool (if one was ever
+        created).  Further submissions raise; ``wait=False`` returns
+        without joining the worker processes."""
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
@@ -260,28 +287,21 @@ def _leased_scheduler(scheduler: "CampaignScheduler | None", width: int):
         ephemeral.shutdown()
 
 
-def stream_prepared(
-    scheduler: "CampaignScheduler",
-    prepared: PreparedCampaign,
-    *,
-    progress=None,
-    abort: "AbortPolicy | None" = None,
-):
-    """Run an already-prepared campaign on ``scheduler``, yielding
-    ``MutantOutcome``s as shards complete.  The streaming core shared
-    by :func:`iter_campaign` and
-    :func:`repro.mutation.campaign.run_campaign`; the caller owns the
-    scheduler's lifetime."""
-    tracker = _CampaignTracker(prepared, abort)
-    remaining = iter(prepared.shards)
+def _stream_shard_results(scheduler: "CampaignScheduler", shards, *,
+                          stop=None):
+    """Windowed shard submission: yield each completed shard's outcome
+    list in completion order, keeping at most one submitted shard per
+    pool slot so a ``stop()`` predicate (e.g. an abort policy)
+    genuinely stops work instead of merely ignoring results of shards
+    already queued behind the pool.  The low-level drain loop shared
+    by :func:`stream_prepared` and
+    :func:`repro.mutation.rtl_validation.validate_at_rtl`."""
+    remaining = iter(shards)
     pending: "set[Future]" = set()
     exhausted = False
     while True:
-        # Keep at most one submitted shard per pool slot so an abort
-        # genuinely stops work, instead of merely ignoring results of
-        # shards already queued behind the pool.
-        while not tracker.aborted and not exhausted and \
-                len(pending) < scheduler.workers:
+        while not exhausted and len(pending) < scheduler.workers and \
+                not (stop is not None and stop()):
             shard = next(remaining, None)
             if shard is None:
                 exhausted = True
@@ -291,9 +311,50 @@ def stream_prepared(
             break
         done, pending = wait(pending, return_when=FIRST_COMPLETED)
         for future in done:
-            outcomes = future.result()
-            tracker.absorb(outcomes, progress)
-            yield from outcomes
+            yield future.result()
+
+
+def _write_back(cache, cache_keys, outcomes, encode) -> None:
+    """Store freshly-executed outcomes under their prepare-time entry
+    keys (no-op without a cache)."""
+    if cache is None or cache_keys is None:
+        return
+    for outcome in outcomes:
+        cache.put(cache_keys[outcome.index], encode(outcome))
+
+
+def stream_prepared(
+    scheduler: "CampaignScheduler",
+    prepared: PreparedCampaign,
+    *,
+    progress=None,
+    abort: "AbortPolicy | None" = None,
+    cache=None,
+):
+    """Run an already-prepared campaign on ``scheduler``, yielding
+    ``MutantOutcome``s as shards complete.  The streaming core shared
+    by :func:`iter_campaign` and
+    :func:`repro.mutation.campaign.run_campaign`; the caller owns the
+    scheduler's lifetime.
+
+    Cache-replayed outcomes (``prepared.cached_outcomes``) are yielded
+    first as one virtual shard -- they count toward progress and can
+    trigger the abort policy before any submission happens.  Freshly
+    executed outcomes are written back to ``cache`` as their shards
+    complete (pass the same cache the campaign was prepared with).
+    """
+    from .cache import encode_outcome
+
+    tracker = _CampaignTracker(prepared, abort)
+    if prepared.cached_outcomes:
+        tracker.absorb(prepared.cached_outcomes, progress)
+        yield from prepared.cached_outcomes
+    for outcomes in _stream_shard_results(
+        scheduler, prepared.shards, stop=lambda: tracker.aborted
+    ):
+        _write_back(cache, prepared.cache_keys, outcomes, encode_outcome)
+        tracker.absorb(outcomes, progress)
+        yield from outcomes
 
 
 def iter_campaign(
@@ -310,6 +371,7 @@ def iter_campaign(
     scheduler: "CampaignScheduler | None" = None,
     progress=None,
     abort: "AbortPolicy | None" = None,
+    cache=None,
 ):
     """Stream one campaign: yield ``MutantOutcome``s as shards complete.
 
@@ -328,7 +390,11 @@ def iter_campaign(
     ``progress`` is called with a :class:`CampaignProgress` after each
     shard.  ``abort`` (an :class:`AbortPolicy`) stops *submission* of
     new shards once triggered; shards already in flight drain and are
-    still yielded.
+    still yielded.  ``cache`` (a
+    :class:`~repro.mutation.cache.ResultCache`) replays known verdicts
+    as the very first batch -- so with a warm cache the stream yields
+    everything instantly and submits nothing -- and writes fresh
+    verdicts back as shards complete.
     """
     prepared = prepare_campaign(
         golden,
@@ -340,12 +406,13 @@ def iter_campaign(
         tap_order=tap_order,
         workers=workers if scheduler is None else scheduler.workers,
         shard_size=shard_size,
+        cache=cache,
     )
     with _leased_scheduler(
         scheduler, _ephemeral_width(workers, prepared)
     ) as sched:
         yield from stream_prepared(
-            sched, prepared, progress=progress, abort=abort
+            sched, prepared, progress=progress, abort=abort, cache=cache
         )
 
 
@@ -363,16 +430,55 @@ class SuiteResult:
     campaign_seconds: float  # prepare+execute phase (prep of later
                              # campaigns overlaps earlier shards)
     workers: int
+    #: ``(ip_name, sensor_type) -> RtlValidationReport`` when the
+    #: suite ran with ``rtl_validation=True`` (empty otherwise); the
+    #: RTL shards interleaved with the TLM shards on the same pool.
+    rtl_reports: "dict" = field(default_factory=dict)
 
     @property
     def total_mutants(self) -> int:
+        """TLM campaign mutants (RTL validations counted separately
+        via :attr:`total_rtl_mutants`)."""
         return sum(r.total for r in self.reports.values())
 
     @property
+    def total_rtl_mutants(self) -> int:
+        return sum(r.total for r in self.rtl_reports.values())
+
+    @property
+    def cache_hits(self) -> "int | None":
+        """Replayed verdicts across every report (TLM + RTL), or
+        ``None`` when the suite ran without a cache."""
+        hits = [
+            r.cache_hits
+            for r in (*self.reports.values(), *self.rtl_reports.values())
+            if r.cache_hits is not None
+        ]
+        return sum(hits) if hits else None
+
+    @property
+    def cache_misses(self) -> "int | None":
+        misses = [
+            r.cache_misses
+            for r in (*self.reports.values(), *self.rtl_reports.values())
+            if r.cache_misses is not None
+        ]
+        return sum(misses) if misses else None
+
+    @property
     def mutants_per_second(self) -> float:
+        """Pool throughput over the campaign window: mutants actually
+        *executed* per second.  RTL-validation mutants run inside the
+        same window, so they count; cache-replayed verdicts never
+        touch the pool, so they do not (a fully-warm re-run reports
+        0.0 rather than a replay rate mislabelled as execution)."""
         if self.campaign_seconds <= 0:
             return 0.0
-        return self.total_mutants / self.campaign_seconds
+        executed = (
+            self.total_mutants + self.total_rtl_mutants
+            - (self.cache_hits or 0)
+        )
+        return executed / self.campaign_seconds
 
     @property
     def all_killed(self) -> bool:
@@ -382,10 +488,22 @@ class SuiteResult:
     def timed_out_count(self) -> int:
         return sum(r.timed_out_count for r in self.reports.values())
 
+    @property
+    def rtl_validation_ok(self) -> bool:
+        """True when no RTL validation ran, or every Razor RTL report
+        raised its error on every mutant (the paper's cross-level
+        agreement criterion).  Counter risen percentages sit below
+        100% by LUT-threshold design, so they are not gated."""
+        return all(
+            r.risen_pct == 100.0
+            for (_, sensor), r in self.rtl_reports.items()
+            if sensor == "razor"
+        )
+
 
 @dataclass
 class _SuiteJob:
-    """One campaign inside a suite: prepared shards + merge state."""
+    """One TLM campaign inside a suite: prepared shards + merge state."""
 
     key: "tuple[str, str]"
     prepared: PreparedCampaign
@@ -394,9 +512,49 @@ class _SuiteJob:
     outcomes: "list" = field(default_factory=list)
     seconds: float = 0.0
 
+    def absorb_shard(self, outcomes, progress) -> None:
+        self.outcomes.extend(outcomes)
+        self.tracker.absorb(outcomes, progress)
+
+    def write_back(self, cache, outcomes) -> None:
+        from .cache import encode_outcome
+
+        _write_back(cache, self.prepared.cache_keys, outcomes,
+                    encode_outcome)
+
     @property
     def complete(self) -> bool:
-        return self.tracker.shards_done == len(self.prepared.shards)
+        return self.tracker.shards_done == self.prepared.total_shards
+
+
+@dataclass
+class _RtlSuiteJob:
+    """One RTL validation inside a suite: its shards ride the same
+    shared pool as the TLM campaign shards (no per-shard progress
+    callbacks -- RTL outcomes carry no kill/timeout verdict for the
+    :class:`CampaignProgress` fields to mean anything)."""
+
+    key: "tuple[str, str]"
+    prepared: "object"       # PreparedRtlValidation
+    started: float = 0.0
+    outcomes: "list" = field(default_factory=list)
+    shards_done: int = 0
+    seconds: float = 0.0
+
+    def absorb_shard(self, outcomes, progress) -> None:
+        del progress
+        self.outcomes.extend(outcomes)
+        self.shards_done += 1
+
+    def write_back(self, cache, outcomes) -> None:
+        from .cache import encode_rtl_outcome
+
+        _write_back(cache, self.prepared.cache_keys, outcomes,
+                    encode_rtl_outcome)
+
+    @property
+    def complete(self) -> bool:
+        return self.shards_done == self.prepared.total_shards
 
 
 def run_benchmark_suite(
@@ -409,34 +567,68 @@ def run_benchmark_suite(
     scheduler: "CampaignScheduler | None" = None,
     progress=None,
     flows: "dict | None" = None,
+    cache=None,
+    rtl_validation: bool = False,
+    rtl_validation_cycles: "int | None" = None,
+    rtl_exec_mode: str = "compiled",
 ) -> SuiteResult:
     """Run the cross-IP campaign suite on one shared worker pool.
 
-    ``specs`` is an iterable of :class:`repro.ips.IpSpec` or registry
-    names; every distinct ``spec x sensor_type`` pair becomes one
-    campaign (duplicates are run once).  Each campaign's flow
-    (characterise + insert + abstract + inject) and golden trace are
-    prepared in the parent, and its shards are submitted to the one
-    shared :class:`CampaignScheduler` **as soon as that campaign is
-    ready** -- the pool chews earlier campaigns' shards while later
-    ones still prepare, and the shared queue lets short campaigns
-    backfill the slots long ones leave idle.  The pool is spun up
-    exactly once for the whole suite.
+    Args:
+        specs: iterable of :class:`repro.ips.IpSpec` or registry
+            names; every distinct ``spec x sensor_type`` pair becomes
+            one campaign (duplicates are run once).
+        sensor_types: the sensor variants to cover (default both).
+        workers: pool width when no ``scheduler`` is passed.
+        shard_size: overrides the one-shard-per-worker batching.
+        mutation_cycles: overrides each IP's testbench length.
+        scheduler: a :class:`CampaignScheduler` owning the shared pool
+            (its ``workers`` takes precedence).
+        progress: per-shard :class:`CampaignProgress` callback, tagged
+            with the shard's campaign.
+        flows: optional ``(ip_name, sensor_type) ->``
+            :class:`~repro.flow.pipeline.FlowResult` map of pre-built
+            flows (the benchmark harness uses this to time scheduling
+            strategies without re-running flow setup); missing entries
+            are built via :func:`repro.flow.run_flow`.
+        cache: a :class:`~repro.mutation.cache.ResultCache` shared by
+            every campaign (and RTL validation) in the suite: known
+            verdicts replay instantly, fresh ones are written back, so
+            a second identical suite run executes (nearly) nothing.
+        rtl_validation: also lower every campaign's RTL-validation
+            mutants to shards on the *same* pool
+            (:class:`~repro.mutation.rtl_validation.RtlValidationShard`),
+            interleaved with the TLM shards; reports land in
+            :attr:`SuiteResult.rtl_reports`.
+        rtl_validation_cycles: RTL testbench length (default: the
+            suite's ``mutation_cycles`` override, else the IP's
+            ``mutation_cycles``).  Note a short override truncates the
+            RTL testbench too: slowly-toggling endpoints (e.g. the
+            filter's decimated outputs) may then legitimately miss
+            100% risen -- same caveat as the TLM kill gate on short
+            testbenches; pass ``rtl_validation_cycles`` explicitly to
+            decouple.
+        rtl_exec_mode: kernel execution mode for the RTL shards.
 
-    ``flows`` optionally maps ``(ip_name, sensor_type)`` to an already-
-    built :class:`~repro.flow.pipeline.FlowResult` (the benchmark
-    harness uses this to time scheduling strategies without re-running
-    flow setup); missing entries are built via
-    :func:`repro.flow.run_flow`.  ``progress`` receives a
-    :class:`CampaignProgress` per completed shard, tagged with that
-    shard's campaign.
+    Each campaign's flow (characterise + insert + abstract + inject)
+    and golden trace are prepared in the parent, and its shards are
+    submitted to the one shared :class:`CampaignScheduler` **as soon
+    as that campaign is ready** -- the pool chews earlier campaigns'
+    shards while later ones still prepare, and the shared queue lets
+    short campaigns backfill the slots long ones leave idle.  The pool
+    is spun up exactly once for the whole suite.
 
-    The per-campaign reports are deterministic: field-identical to a
-    standalone :func:`~repro.mutation.campaign.run_campaign` of the
-    same campaign (``seconds`` aside).
+    Returns:
+        A :class:`SuiteResult`.  The per-campaign reports are
+        deterministic: field-identical to a standalone
+        :func:`~repro.mutation.campaign.run_campaign` of the same
+        campaign (``seconds`` aside), for any worker count and any
+        cache state.
     """
     from repro.flow import run_flow
-    from repro.ips import IpSpec, case_study
+    from repro.ips import IpSpec, case_study, rebuild_recipe
+
+    from .rtl_validation import prepare_rtl_validation
 
     started = time.perf_counter()
     resolved: "list[IpSpec]" = [
@@ -451,10 +643,11 @@ def run_benchmark_suite(
 
     campaign_started = time.perf_counter()
 
-    def _absorb(job: _SuiteJob, outcomes,
-                finished_at: "float | None" = None) -> None:
-        job.outcomes.extend(outcomes)
-        job.tracker.absorb(outcomes, progress)
+    def _absorb(job, outcomes, finished_at: "float | None" = None,
+                write: bool = True) -> None:
+        if write:
+            job.write_back(cache, outcomes)
+        job.absorb_shard(outcomes, progress)
         if job.complete:
             job.seconds = (
                 finished_at if finished_at is not None
@@ -462,7 +655,8 @@ def run_benchmark_suite(
             ) - job.started
 
     jobs: "list[_SuiteJob]" = []
-    futures: "dict[Future, _SuiteJob]" = {}
+    rtl_jobs: "list[_RtlSuiteJob]" = []
+    futures: "dict[Future, object]" = {}
     #: perf_counter stamped the moment each future resolves (pool
     #: callback thread), so a campaign's duration is measured to its
     #: last shard's *completion*, not to whenever the parent -- which
@@ -485,6 +679,21 @@ def run_benchmark_suite(
                 completion.pop(future, None),
             )
 
+    def _submit_job(sched, job, shards) -> None:
+        # Submit immediately: the pool starts on this campaign's
+        # shards while the next campaign's flow and golden trace still
+        # prepare in the parent.  (Inline execution resolves at
+        # submission, so absorb right away.)
+        for shard in shards:
+            future = sched.submit(shard)
+            if future.done():
+                _absorb(job, future.result())
+            else:
+                futures[future] = job
+                future.add_done_callback(
+                    lambda f: completion.setdefault(f, time.perf_counter())
+                )
+
     # A passed scheduler defines the pool width; shard to fill it.
     with _leased_scheduler(scheduler, workers) as sched:
         for spec in resolved:
@@ -495,7 +704,14 @@ def run_benchmark_suite(
                 seen.add(key)
                 flow = (flows or {}).get(key)
                 if flow is None:
-                    flow = run_flow(spec, sensor, run_mutation=False)
+                    # Forward the kernel mode so the parent-side
+                    # design (RTL fingerprints, inline shards, memo
+                    # seeding) is built exactly as pool workers will
+                    # rebuild it.
+                    flow = run_flow(
+                        spec, sensor, run_mutation=False,
+                        rtl_exec_mode=rtl_exec_mode,
+                    )
                 stimuli = spec.stimulus(
                     mutation_cycles or spec.mutation_cycles
                 )
@@ -512,6 +728,7 @@ def run_benchmark_suite(
                     recovery=True,
                     workers=sched.workers,
                     shard_size=shard_size,
+                    cache=cache,
                 )
                 job = _SuiteJob(
                     key=key,
@@ -520,21 +737,43 @@ def run_benchmark_suite(
                     started=job_started,
                 )
                 jobs.append(job)
-                # Submit immediately: the pool starts on this
-                # campaign's shards while the next campaign's flow and
-                # golden trace still prepare in the parent.  (Inline
-                # mode executes at submission, so absorb right away.)
-                for shard in prepared.shards:
-                    future = sched.submit(shard)
-                    if sched.workers <= 1:
-                        _absorb(job, future.result())
-                    else:
-                        futures[future] = job
-                        future.add_done_callback(
-                            lambda f: completion.setdefault(
-                                f, time.perf_counter()
-                            )
+                if prepared.cached_outcomes:
+                    # Replayed verdicts are already in the cache --
+                    # absorb without writing them back.
+                    _absorb(job, prepared.cached_outcomes, write=False)
+                _submit_job(sched, job, prepared.shards)
+
+                if rtl_validation:
+                    # Honour the suite-wide cycle override: a quick
+                    # `--cycles 4` suite must not pay full-length RTL
+                    # simulation per mutant behind the user's back.
+                    rtl_stimuli = spec.stimulus(
+                        rtl_validation_cycles or mutation_cycles
+                        or spec.mutation_cycles
+                    )
+                    rtl_started = time.perf_counter()
+                    rtl_prepared = prepare_rtl_validation(
+                        flow.augmented,
+                        flow.injected.mutants,
+                        stimuli=rtl_stimuli,
+                        cycles=len(rtl_stimuli),
+                        ip_name=spec.name,
+                        exec_mode=rtl_exec_mode,
+                        rebuild=rebuild_recipe(spec),
+                        workers=sched.workers,
+                        shard_size=shard_size,
+                        cache=cache,
+                    )
+                    rtl_job = _RtlSuiteJob(
+                        key=key, prepared=rtl_prepared, started=rtl_started
+                    )
+                    rtl_jobs.append(rtl_job)
+                    if rtl_prepared.cached_outcomes:
+                        _absorb(
+                            rtl_job, rtl_prepared.cached_outcomes,
+                            write=False,
                         )
+                    _submit_job(sched, rtl_job, rtl_prepared.shards)
                 # Keep progress live and per-campaign timing honest:
                 # drain whatever finished while this campaign prepared.
                 _absorb_done(block=False)
@@ -546,9 +785,14 @@ def run_benchmark_suite(
         job.key: job.prepared.build_report(job.outcomes, seconds=job.seconds)
         for job in jobs
     }
+    rtl_reports = {
+        job.key: job.prepared.build_report(job.outcomes, seconds=job.seconds)
+        for job in rtl_jobs
+    }
     return SuiteResult(
         reports=reports,
         seconds=time.perf_counter() - started,
         campaign_seconds=campaign_seconds,
         workers=sched.workers,
+        rtl_reports=rtl_reports,
     )

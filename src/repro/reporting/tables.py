@@ -57,6 +57,10 @@ def mutation_summary_pairs(report) -> "list[tuple[str, object]]":
     a campaign has timeouts the summary states both the judged and the
     raw mutant counts instead of silently reporting a score over a
     shrunken population.
+
+    When the campaign ran against a result cache
+    (:class:`repro.mutation.ResultCache`), a ``result cache`` row
+    states how many verdicts were replayed versus executed.
     """
     timed_out = report.timed_out_count
     if timed_out:
@@ -74,6 +78,11 @@ def mutation_summary_pairs(report) -> "list[tuple[str, object]]":
         pairs.append((
             "timed out (excluded from score)",
             f"{timed_out} of {report.total}",
+        ))
+    if getattr(report, "cache_hits", None) is not None:
+        pairs.append((
+            "result cache",
+            f"{report.cache_hits} hits / {report.cache_misses} misses",
         ))
     return pairs
 

@@ -1,0 +1,354 @@
+"""Tests for the content-addressed campaign result cache.
+
+The acceptance contract of :mod:`repro.mutation.cache`:
+
+* a warm re-run of an identical campaign/suite replays every verdict
+  (100% hits) and produces a report field-for-field identical to the
+  cold (and to a cache-less) run;
+* a changed mutant spec, stimulus sequence or model fingerprint
+  invalidates exactly the affected entries -- nothing more;
+* reordering the mutant table invalidates nothing (entries are keyed
+  by spec content, not position);
+* RTL validation shares the same store, both inline and on a
+  multi-worker scheduler pool.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.flow import run_flow
+from repro.ips import case_study
+from repro.mutation import (
+    CampaignScheduler,
+    ResultCache,
+    inject_mutants,
+    iter_campaign,
+    prepare_campaign,
+    run_benchmark_suite,
+    run_campaign,
+    validate_at_rtl,
+)
+from repro.mutation.cache import (
+    golden_trace_hash,
+    model_fingerprint,
+    stimuli_hash,
+)
+from repro.rtl import Assign, If, Module, const
+from repro.sensors import insert_sensors
+from repro.sta import analyze, bin_critical_paths
+from repro.synth import synthesize
+
+PERIOD = 1000
+
+
+def build_ip():
+    """Small two-register datapath (mirrors tests/test_mutation.py)."""
+    m = Module("cache_ip")
+    clk = m.input("clk")
+    din = m.input("din", 8)
+    en = m.input("en")
+    acc = m.signal("acc", 8)
+    scaled = m.signal("scaled", 8)
+    out_acc = m.output("out_acc", 8)
+    out_scaled = m.output("out_scaled", 8)
+    m.sync("p_acc", clk, [
+        If(en.eq(1), [Assign(acc, acc + din)]),
+    ])
+    m.sync("p_scaled", clk, [Assign(scaled, acc * const(5, 8))])
+    m.comb("p_oa", [Assign(out_acc, acc)])
+    m.comb("p_os", [Assign(out_scaled, scaled)])
+    return m, clk
+
+
+def augment(sensor_type):
+    m, clk = build_ip()
+    report = analyze(synthesize(m), clock_period_ps=PERIOD)
+    critical = bin_critical_paths(report, threshold_ps=1e9)
+    return insert_sensors(m, clk, critical, sensor_type=sensor_type)
+
+
+def stimulus(n=24, seed=2):
+    rng = random.Random(seed)
+    return [{"din": rng.randrange(1, 256), "en": 1} for _ in range(n)]
+
+
+@pytest.fixture(scope="module")
+def razor_campaign():
+    """(golden factory, injected model, stimuli) for a razor campaign."""
+    from repro.abstraction import generate_tlm
+
+    aug = augment("razor")
+    golden = generate_tlm(aug.module, variant="hdtlib", augmented=aug)
+    injected = inject_mutants(aug)
+    return golden, injected, stimulus()
+
+
+def _campaign(golden, injected, stimuli, **kw):
+    return run_campaign(
+        golden, injected, stimuli,
+        ip_name="cache_ip", sensor_type="razor", **kw,
+    )
+
+
+def _with_mutant_table(gen, mutants):
+    """A copy of ``gen`` with a rewritten mutant table (both the spec
+    list and the generated ``MUTANTS`` source literal)."""
+    specs = [(m.kind, m.target, m.hf_tick, m.register) for m in mutants]
+    lines = []
+    for line in gen.source.splitlines():
+        if line.lstrip().startswith("MUTANTS ="):
+            indent = line[:len(line) - len(line.lstrip())]
+            lines.append(f"{indent}MUTANTS = {specs!r}")
+        else:
+            lines.append(line)
+    return dataclasses.replace(
+        gen, source="\n".join(lines), mutants=list(mutants)
+    )
+
+
+class TestKeyComponents:
+    def test_model_fingerprint_masks_mutant_table(self, razor_campaign):
+        _, injected, _ = razor_campaign
+        mutants = list(injected.mutants)
+        tweaked = _with_mutant_table(injected, [
+            dataclasses.replace(mutants[0], hf_tick=mutants[0].hf_tick + 3),
+            *mutants[1:],
+        ])
+        assert tweaked.source != injected.source
+        assert model_fingerprint(tweaked) == model_fingerprint(injected)
+
+    def test_model_fingerprint_sees_structural_change(self, razor_campaign):
+        _, injected, _ = razor_campaign
+        tweaked = dataclasses.replace(
+            injected, source=injected.source + "\n# structural change"
+        )
+        assert model_fingerprint(tweaked) != model_fingerprint(injected)
+
+    def test_stimuli_hash_canonicalises_key_order(self):
+        a = [{"din": 1, "en": 1}, {"din": 2, "en": 0}]
+        b = [{"en": 1, "din": 1}, {"en": 0, "din": 2}]
+        assert stimuli_hash(a) == stimuli_hash(b)
+        assert stimuli_hash(a) != stimuli_hash(list(reversed(a)))
+
+    def test_store_roundtrip_disk_and_memory(self, tmp_path):
+        for cache in (ResultCache(None), ResultCache(tmp_path / "c")):
+            assert cache.get("ab" * 32) is None
+            cache.put("ab" * 32, {"x": 1})
+            assert cache.get("ab" * 32) == {"x": 1}
+            cache.put("ab" * 32, {"x": 2})  # overwrite is atomic
+            assert cache.get("ab" * 32) == {"x": 2}
+            assert len(cache) == 1
+            assert (cache.hits, cache.misses) == (2, 1)
+
+
+class TestCampaignCache:
+    def test_cold_then_warm_replays_everything(self, razor_campaign,
+                                               tmp_path):
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(tmp_path / "cache")
+        baseline = _campaign(golden, injected, stimuli)
+        assert baseline.cache_hits is None and baseline.cache_misses is None
+
+        cold = _campaign(golden, injected, stimuli, cache=cache)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == cold.total == len(injected.mutants)
+        assert len(cache) == cold.total
+
+        warm = _campaign(golden, injected, stimuli, cache=cache)
+        assert warm.cache_hits == warm.total
+        assert warm.cache_misses == 0
+        # Field-for-field identical across uncached, cold and warm.
+        assert baseline == cold == warm
+        assert baseline.outcomes == warm.outcomes
+
+    def test_warm_prepare_shards_nothing(self, razor_campaign):
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        _campaign(golden, injected, stimuli, cache=cache)
+        prepared = prepare_campaign(
+            golden, injected, stimuli,
+            ip_name="cache_ip", sensor_type="razor", cache=cache,
+        )
+        assert prepared.shards == ()
+        assert len(prepared.cached_outcomes) == prepared.total
+        # The replayed batch still counts as one (virtual) shard for
+        # progress accounting.
+        assert prepared.total_shards == 1
+
+    def test_changed_stimuli_invalidates_everything(self, razor_campaign):
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        _campaign(golden, injected, stimuli, cache=cache)
+        changed = _campaign(
+            golden, injected, stimulus(seed=99), cache=cache
+        )
+        assert changed.cache_hits == 0
+        assert changed.cache_misses == changed.total
+
+    def test_changed_mutant_invalidates_only_itself(self, razor_campaign):
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        _campaign(golden, injected, stimuli, cache=cache)
+
+        mutants = list(injected.mutants)
+        mutants[1] = dataclasses.replace(
+            mutants[1], hf_tick=mutants[1].hf_tick + 7
+        )
+        tweaked = _with_mutant_table(injected, mutants)
+        report = _campaign(golden, tweaked, stimuli, cache=cache)
+        assert report.cache_hits == report.total - 1
+        assert report.cache_misses == 1
+        executed = [
+            o for o in report.outcomes if o.hf_tick == mutants[1].hf_tick
+        ]
+        assert [o.index for o in executed] == [1]
+
+    def test_reordered_mutant_table_hits_fully(self, razor_campaign):
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        baseline = _campaign(golden, injected, stimuli, cache=cache)
+
+        mutants = list(injected.mutants)
+        mutants[0], mutants[-1] = mutants[-1], mutants[0]
+        reordered = _with_mutant_table(injected, mutants)
+        report = _campaign(golden, reordered, stimuli, cache=cache)
+        assert report.cache_hits == report.total
+        # Replayed outcomes are re-indexed to the new table positions.
+        assert report.outcomes[0].kind == baseline.outcomes[-1].kind
+        assert [o.index for o in report.outcomes] == list(
+            range(report.total)
+        )
+
+    def test_changed_model_invalidates_everything(self, razor_campaign):
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        _campaign(golden, injected, stimuli, cache=cache)
+        tweaked = dataclasses.replace(
+            injected, source=injected.source + "\n# structural change"
+        )
+        report = _campaign(golden, tweaked, stimuli, cache=cache)
+        assert report.cache_hits == 0
+        assert report.cache_misses == report.total
+
+    def test_iter_campaign_streams_cached_first(self, razor_campaign):
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        cold = sorted(
+            iter_campaign(
+                golden, injected, stimuli,
+                ip_name="cache_ip", sensor_type="razor", cache=cache,
+            ),
+            key=lambda o: o.index,
+        )
+        snapshots = []
+        warm = list(iter_campaign(
+            golden, injected, stimuli,
+            ip_name="cache_ip", sensor_type="razor", cache=cache,
+            progress=snapshots.append,
+        ))
+        # Warm stream yields every verdict in one replay batch, in
+        # index order, before (and without) any shard submission.
+        assert warm == cold
+        assert len(snapshots) == 1
+        assert snapshots[0].done == snapshots[0].total == len(warm)
+        assert snapshots[0].shards_done == snapshots[0].shards_total == 1
+
+
+class TestRtlValidationCache:
+    def test_cold_then_warm_inline(self, tmp_path):
+        aug = augment("razor")
+        injected = inject_mutants(aug)
+        stim = stimulus(15)
+        cache = ResultCache(tmp_path / "rtl")
+        baseline = validate_at_rtl(
+            aug, injected.mutants, stimuli=stim, cycles=15
+        )
+        cold = validate_at_rtl(
+            aug, injected.mutants, stimuli=stim, cycles=15, cache=cache
+        )
+        warm = validate_at_rtl(
+            aug, injected.mutants, stimuli=stim, cycles=15, cache=cache
+        )
+        assert cold.cache_misses == len(injected.mutants)
+        assert warm.cache_hits == len(injected.mutants)
+        assert baseline == cold == warm
+        assert baseline.risen_pct == 100.0
+
+    def test_stimuli_path_matches_legacy_drive(self):
+        aug = augment("counter")
+        injected = inject_mutants(aug)
+        stim = stimulus(15)
+        din = next(p for p in aug.module.inputs() if p.name == "din")
+        en = next(p for p in aug.module.inputs() if p.name == "en")
+
+        def drive(sim, i):
+            vec = stim[i % len(stim)]
+            sim.cycle({din: vec["din"], en: vec["en"]})
+
+        legacy = validate_at_rtl(aug, injected.mutants, drive, cycles=15)
+        declarative = validate_at_rtl(
+            aug, injected.mutants, stimuli=stim, cycles=15
+        )
+        assert legacy == declarative
+
+    def test_cycle_count_is_part_of_the_key(self):
+        aug = augment("razor")
+        injected = inject_mutants(aug)
+        stim = stimulus(15)
+        cache = ResultCache(None)
+        validate_at_rtl(
+            aug, injected.mutants, stimuli=stim, cycles=15, cache=cache
+        )
+        other = validate_at_rtl(
+            aug, injected.mutants, stimuli=stim, cycles=10, cache=cache
+        )
+        assert other.cache_hits == 0
+
+
+class TestSharedPoolAndSuite:
+    def test_flow_with_pool_and_rebuilt_rtl_shards(self, tmp_path):
+        """workers=2 exercises the pickled rebuild recipe: RTL shards
+        reconstruct the augmented design inside worker processes and
+        their verdicts land in the same cache."""
+        spec = case_study("dsp")
+        cache = ResultCache(tmp_path / "pool")
+        cold = run_flow(
+            spec, "razor", mutation_cycles=24, run_rtl_validation=True,
+            rtl_validation_cycles=12, workers=2, cache=cache,
+        )
+        warm = run_flow(
+            spec, "razor", mutation_cycles=24, run_rtl_validation=True,
+            rtl_validation_cycles=12, workers=2, cache=cache,
+        )
+        assert cold.mutation.cache_misses == cold.mutation.total
+        assert warm.mutation.cache_hits == warm.mutation.total
+        assert warm.rtl_validation.cache_hits == \
+            len(cold.rtl_validation.outcomes)
+        assert cold.mutation == warm.mutation
+        assert cold.rtl_validation == warm.rtl_validation
+
+    def test_suite_warm_rerun_hits_at_least_95_pct(self, tmp_path):
+        cache_dir = tmp_path / "suite"
+        specs = ["dsp"]
+
+        def run(cache):
+            with CampaignScheduler(workers=1) as sched:
+                return run_benchmark_suite(
+                    specs, ("razor", "counter"), mutation_cycles=16,
+                    scheduler=sched, cache=cache,
+                    rtl_validation=True, rtl_validation_cycles=8,
+                )
+
+        reference = run(None)
+        cold = run(ResultCache(cache_dir))
+        warm = run(ResultCache(cache_dir))
+        lookups = warm.cache_hits + warm.cache_misses
+        assert lookups > 0
+        assert warm.cache_hits / lookups >= 0.95
+        for key in reference.reports:
+            assert reference.reports[key] == cold.reports[key]
+            assert cold.reports[key] == warm.reports[key]
+            assert cold.rtl_reports[key] == warm.rtl_reports[key]
+        assert reference.cache_hits is None

@@ -1,0 +1,97 @@
+"""Doc-sync tests: the documentation cannot silently rot.
+
+Two invariants, enforced in CI by the docs job:
+
+* every ``repro`` CLI subcommand and every long option flag exposed by
+  :func:`repro.cli.build_parser` appears in the CLI reference prose of
+  ``README.md`` / ``docs/*.md`` (add a flag -> document it);
+* every intra-repo markdown link in ``README.md`` / ``docs/*.md``
+  resolves to an existing file (move a file -> fix the links).
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _doc_files():
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def _doc_text():
+    return "\n".join(f.read_text() for f in _doc_files())
+
+
+def _subparsers(parser):
+    """``{subcommand name: sub-parser}`` of the one subparsers group."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise AssertionError("repro parser has no subcommands")
+
+
+class TestDocsExist:
+    def test_readme_and_docs_present(self):
+        assert (REPO / "README.md").exists(), "README.md is missing"
+        for name in ("architecture.md", "benchmarks.md"):
+            assert (REPO / "docs" / name).exists(), f"docs/{name} missing"
+
+    def test_readme_names_the_tier1_test_command(self):
+        text = (REPO / "README.md").read_text()
+        assert "python -m pytest" in text
+
+
+class TestCliReferenceSync:
+    def test_every_subcommand_is_documented(self):
+        text = _doc_text()
+        for name in _subparsers(build_parser()):
+            assert re.search(rf"\brepro {name}\b", text), (
+                f"CLI subcommand {name!r} is not documented in "
+                "README.md/docs/*.md"
+            )
+
+    def test_every_flag_is_documented(self):
+        text = _doc_text()
+        for name, sub in _subparsers(build_parser()).items():
+            for action in sub._actions:
+                for opt in action.option_strings:
+                    if not opt.startswith("--"):
+                        continue  # -h and short aliases
+                    if opt == "--help":
+                        continue
+                    assert f"`{opt}" in text or f"{opt} " in text or \
+                        f"{opt}`" in text, (
+                        f"flag {opt!r} of `repro {name}` is not "
+                        "documented in README.md/docs/*.md"
+                    )
+
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+class TestIntraRepoLinks:
+    @pytest.mark.parametrize(
+        "doc", _doc_files(), ids=lambda p: p.name
+    )
+    def test_relative_links_resolve(self, doc):
+        broken = []
+        for target in _LINK.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            if not (doc.parent / path).exists():
+                broken.append(target)
+        assert not broken, (
+            f"{doc.relative_to(REPO)} has broken intra-repo links: "
+            f"{broken}"
+        )
