@@ -1,0 +1,250 @@
+"""Campaign-service benchmark: concurrent-client throughput over HTTP.
+
+Boots a real :class:`repro.service.ServiceServer` (ephemeral port) and
+measures the wall-clock of pushing one fixed batch of campaign jobs
+through it two ways:
+
+* ``sequential`` -- one client submits each job and streams it to
+  completion before submitting the next (the pre-service workflow: a
+  user running ``repro mutate`` invocations back to back);
+* ``concurrent`` -- N client threads each submit their share up front
+  and stream simultaneously; the service interleaves the campaigns on
+  its shared scheduler pool and its job thread pool.
+
+Every streamed report is checked **field-for-field equal** to a direct
+:func:`repro.mutation.run_campaign` of the same campaign -- the
+determinism guarantee holds through the job queue, the asyncio bridge
+and the NDJSON wire format.  ``--out FILE`` writes the measurements as
+JSON (``BENCH_service.json`` in CI).
+
+Usage::
+
+    python benchmarks/bench_service.py [--quick] [--clients N]
+        [--workers W] [--jobs-per-client J] [--cycles C]
+        [--out BENCH_service.json]
+
+``--quick`` is the CI smoke configuration: 4 clients x 2 jobs over
+short testbenches on all three IPs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.flow import run_flow                              # noqa: E402
+from repro.ips import CASE_STUDIES, case_study               # noqa: E402
+from repro.mutation import run_campaign                      # noqa: E402
+from repro.reporting import format_table                     # noqa: E402
+from repro.service import (                                  # noqa: E402
+    CampaignService,
+    ServiceClient,
+    ServiceServer,
+    decode_report,
+)
+
+
+def build_job_batch(clients: int, jobs_per_client: int, cycles: int):
+    """A deterministic round-robin batch over IP x sensor pairs: one
+    list of job specs per client."""
+    combos = [
+        (ip, sensor)
+        for ip in sorted(CASE_STUDIES)
+        for sensor in ("razor", "counter")
+    ]
+    batches = []
+    i = 0
+    for _client in range(clients):
+        specs = []
+        for _job in range(jobs_per_client):
+            ip, sensor = combos[i % len(combos)]
+            specs.append({"ip": ip, "sensor": sensor, "cycles": cycles})
+            i += 1
+        batches.append(specs)
+    return batches
+
+
+def build_flows(batches):
+    """Pre-build every flow the batch needs (seeds the service's flow
+    cache and the direct baselines, so the measurement isolates
+    campaign service throughput, not flow construction)."""
+    flows = {}
+    for specs in batches:
+        for spec in specs:
+            key = (spec["ip"], spec["sensor"])
+            if key not in flows:
+                flows[key] = run_flow(
+                    case_study(spec["ip"]), spec["sensor"],
+                    run_mutation=False,
+                )
+    return flows
+
+
+def build_baselines(flows, cycles):
+    return {
+        (ip, sensor): run_campaign(
+            flow.tlm_optimized, flow.injected,
+            case_study(ip).stimulus(cycles),
+            ip_name=ip, sensor_type=sensor, workers=1,
+        )
+        for (ip, sensor), flow in flows.items()
+    }
+
+
+def run_batch(server, batches, *, concurrent: bool):
+    """Push the whole batch through the server; returns (seconds,
+    reports) with reports in submission order per client."""
+    host, port = server.address
+    reports = [[] for _ in batches]
+    errors = []
+
+    def one_client(index, specs):
+        try:
+            client = ServiceClient(host, port, timeout=120,
+                                   stream_timeout=600)
+            for spec in specs:
+                record = client.submit(spec)
+                end = client.watch(record["id"])
+                if end["status"] != "done":
+                    raise RuntimeError(
+                        f"job {record['id']} ended {end['status']}: "
+                        f"{end.get('error')}"
+                    )
+                reports[index].append(decode_report(end["report"]))
+        except BaseException as exc:
+            errors.append(exc)
+
+    started = time.perf_counter()
+    if concurrent:
+        threads = [
+            threading.Thread(target=one_client, args=(i, specs))
+            for i, specs in enumerate(batches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        for i, specs in enumerate(batches):
+            one_client(i, specs)
+    seconds = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return seconds, reports
+
+
+def check_determinism(batches, reports, baselines) -> bool:
+    ok = True
+    for specs, client_reports in zip(batches, reports):
+        for spec, report in zip(specs, client_reports):
+            if report != baselines[(spec["ip"], spec["sensor"])]:
+                ok = False
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 4 clients x 2 jobs, short "
+                             "testbenches")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent client threads (default: 4, "
+                             "or 6 full run)")
+    parser.add_argument("--jobs-per-client", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shared scheduler pool width in the server")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="testbench cycles per job (default: 24 "
+                             "quick / 48 full)")
+    parser.add_argument("--out", default=None,
+                        help="write measurements to this JSON file "
+                             "(e.g. BENCH_service.json)")
+    args = parser.parse_args(argv)
+
+    clients = args.clients or (4 if args.quick else 6)
+    jobs_per_client = args.jobs_per_client or 2
+    cycles = args.cycles or (24 if args.quick else 48)
+
+    batches = build_job_batch(clients, jobs_per_client, cycles)
+    total_jobs = sum(len(b) for b in batches)
+    print(f"building flows for {total_jobs} jobs "
+          f"({clients} clients x {jobs_per_client}) ...", flush=True)
+    flows = build_flows(batches)
+    baselines = build_baselines(flows, cycles)
+    total_mutants = sum(
+        len(flows[(s["ip"], s["sensor"])].injected.mutants)
+        for b in batches for s in b
+    )
+
+    def measure(concurrent: bool):
+        service = CampaignService(
+            workers=args.workers, max_jobs=max(clients, 1),
+            flows=dict(flows),
+        )
+        with ServiceServer(service) as server:
+            seconds, reports = run_batch(
+                server, batches, concurrent=concurrent
+            )
+        return seconds, check_determinism(batches, reports, baselines)
+
+    sequential_s, sequential_ok = measure(concurrent=False)
+    concurrent_s, concurrent_ok = measure(concurrent=True)
+
+    rows = [[
+        total_jobs, total_mutants, clients,
+        f"{sequential_s:.2f}", f"{total_mutants / sequential_s:.1f}",
+        f"{concurrent_s:.2f}", f"{total_mutants / concurrent_s:.1f}",
+        f"{sequential_s / concurrent_s:.2f}x",
+        "yes" if sequential_ok and concurrent_ok else "NO",
+    ]]
+    print(format_table(
+        ["jobs", "mutants", "clients",
+         "sequential (s)", "seq (m/s)",
+         "concurrent (s)", "conc (m/s)",
+         "speedup", "deterministic"],
+        rows,
+        title=(
+            f"Campaign service throughput over HTTP "
+            f"(scheduler workers={args.workers}): one client in "
+            f"sequence vs {clients} streaming concurrently"
+        ),
+    ))
+
+    if args.out:
+        payload = {
+            "quick": args.quick,
+            "clients": clients,
+            "jobs_per_client": jobs_per_client,
+            "jobs": total_jobs,
+            "mutants": total_mutants,
+            "cycles": cycles,
+            "workers": args.workers,
+            "sequential_s": sequential_s,
+            "sequential_mps": total_mutants / sequential_s,
+            "concurrent_s": concurrent_s,
+            "concurrent_mps": total_mutants / concurrent_s,
+            "speedup": sequential_s / concurrent_s,
+            "deterministic": sequential_ok and concurrent_ok,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+
+    if not (sequential_ok and concurrent_ok):
+        print("ERROR: a streamed report diverged from the direct "
+              "run_campaign baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,14 +38,44 @@ Commands
     Print the generated VHDL of the (augmented) IP, or the generated
     TLM Python model.
 
+Campaign service (see :mod:`repro.service` and ``docs/service.md``)
+-------------------------------------------------------------------
+``serve [--host H] [--port P] [--workers N] [--max-jobs M]
+[--state-dir DIR] [--ready-file FILE] [--cache-dir DIR] [--no-cache]``
+    Run the long-lived campaign service: jobs submitted over HTTP
+    queue onto one shared scheduler pool, every client streams
+    per-shard progress (NDJSON).  ``--state-dir`` persists job records
+    so finished reports survive restarts; ``--ready-file`` writes
+    ``host port`` once listening (CI boots on ``--port 0``).
+``submit <ip> <sensor> [--cycles C] [--shard-size M] [--no-recovery]
+[--stop-on-survivor] [--score-threshold X] [--watch] [--host] [--port]``
+    Submit one campaign job; prints the job id (``--watch`` then
+    streams it to completion like ``repro watch``).
+``status [job_id] [--host] [--port]``
+    One job's record and report summary, or -- without an id -- a
+    table of every job the service knows.
+``watch <job_id> [--host] [--port]``
+    Stream a job's events live: per-shard progress lines, then the
+    final campaign summary.  Exit code mirrors ``repro mutate``.
+``cancel <job_id> [--host] [--port]``
+    Cancel a queued/running job (shard-granular; the partial report
+    is kept).
+
 Result caching
 --------------
 ``flow``, ``mutate`` and ``bench`` accept ``--cache-dir DIR``: mutant
-verdicts (TLM and RTL) are stored content-addressed under ``DIR``
-(:class:`repro.mutation.ResultCache`), so a second identical run
-replays instead of re-executing and the summaries report the hit/miss
-split.  ``--no-cache`` forces execution even when ``--cache-dir`` is
-configured.
+verdicts (TLM and RTL) and golden traces are stored content-addressed
+under ``DIR`` (:class:`repro.mutation.ResultCache`), so a second
+identical run replays instead of re-executing and the summaries report
+the hit/miss split.  ``--no-cache`` forces execution even when
+``--cache-dir`` is configured.  ``repro serve`` accepts the same pair
+(one cache shared by every job).
+
+``cache {stats,prune} --cache-dir DIR [--max-bytes N] [--older-than S]``
+    Inspect or garbage-collect a result cache: ``stats`` prints entry
+    count, byte footprint and the per-IP breakdown; ``prune`` removes
+    entries older than ``--older-than`` seconds and/or evicts oldest-
+    first down to the ``--max-bytes`` budget.
 """
 
 from __future__ import annotations
@@ -319,6 +349,221 @@ def _cmd_emit(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Campaign service commands
+# ---------------------------------------------------------------------------
+
+def _cmd_serve(args) -> int:
+    import time as _time
+
+    from repro.service import CampaignService, ServiceServer
+
+    service = CampaignService(
+        workers=args.workers,
+        max_jobs=args.max_jobs,
+        state_dir=args.state_dir,
+        cache=_resolve_cache(args),
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    host, port = server.start()
+    print(f"repro service listening on http://{host}:{port} "
+          f"(workers={args.workers}, max jobs={args.max_jobs})",
+          flush=True)
+    if args.state_dir:
+        print(f"  job records : {args.state_dir}", flush=True)
+    if getattr(args, "cache_dir", None) and not args.no_cache:
+        print(f"  result cache: {args.cache_dir}", flush=True)
+    if args.ready_file:
+        with open(args.ready_file, "w") as handle:
+            handle.write(f"{host} {port}\n")
+    try:
+        while True:
+            _time.sleep(1)
+    except KeyboardInterrupt:
+        print("shutting down ...", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _event_printer(stream):
+    """Render service events as the familiar progress lines."""
+
+    def emit(event):
+        kind = event.get("type")
+        if kind == "status":
+            print(f"  job {event['job']}: {event['status']}",
+                  file=stream, flush=True)
+        elif kind == "progress":
+            flag = "  [aborted]" if event["aborted"] else ""
+            print(
+                f"  {event['ip']}/{event['sensor']}: "
+                f"{event['done']}/{event['total']} mutants "
+                f"(shard {event['shards_done']}/{event['shards_total']}) "
+                f"killed={event['killed']} "
+                f"survivors={event['survivors']} "
+                f"timed_out={event['timed_out']}{flag}",
+                file=stream,
+                flush=True,
+            )
+
+    return emit
+
+
+def _print_end_event(end) -> int:
+    """Final summary + the ``mutate``-style exit gate for one job's
+    terminal event."""
+    from repro.service import decode_report
+
+    status = end.get("status")
+    if status == "failed":
+        print(f"job {end['job']} failed: {end.get('error')}",
+              file=sys.stderr)
+        return 1
+    if end.get("report") is None:
+        # A job cancelled before its first shard ends "aborted" with
+        # no report at all -- nothing to summarise.
+        print(format_kv([("job", end["job"]), ("status", status)]))
+        return 1
+    report = decode_report(end["report"])
+    print(format_kv([
+        ("job", end["job"]),
+        ("status", status),
+    ] + mutation_summary_pairs(report) + [
+        ("campaign time", f"{report.seconds:.2f} s"),
+    ]))
+    return 0 if status == "done" and report.killed_pct == 100.0 \
+        and report.timed_out_count == 0 else 1
+
+
+def _cmd_submit(args) -> int:
+    client = _service_client(args)
+    spec = {
+        "ip": args.ip,
+        "sensor": args.sensor,
+        "cycles": args.cycles,
+        "shard_size": args.shard_size,
+        "recovery": not args.no_recovery,
+        "stop_on_survivor": args.stop_on_survivor,
+        "score_threshold": args.score_threshold,
+    }
+    record = client.submit(spec)
+    print(f"job {record['id']} submitted ({record['status']})",
+          flush=True)
+    if not args.watch:
+        return 0
+    end = client.watch(record["id"], on_event=_event_printer(sys.stdout))
+    return _print_end_event(end)
+
+
+def _cmd_watch(args) -> int:
+    client = _service_client(args)
+    end = client.watch(args.job_id, on_event=_event_printer(sys.stdout))
+    return _print_end_event(end)
+
+
+def _job_row(record) -> list:
+    report = record.get("report") or {}
+    outcomes = report.get("outcomes")
+    return [
+        record["id"],
+        record["spec"]["ip"],
+        record["spec"]["sensor"],
+        record["status"],
+        len(outcomes) if outcomes is not None else "n.a.",
+        record.get("error") or "",
+    ]
+
+
+def _cmd_status(args) -> int:
+    client = _service_client(args)
+    if not args.job_id:
+        rows = [_job_row(record) for record in client.jobs()]
+        print(format_table(
+            ["job", "IP", "sensor", "status", "outcomes", "error"],
+            rows,
+            title="Campaign service jobs",
+        ))
+        return 0
+    record = client.job(args.job_id)
+    pairs = [
+        ("job", record["id"]),
+        ("IP", record["spec"]["ip"]),
+        ("sensor", record["spec"]["sensor"]),
+        ("status", record["status"]),
+    ]
+    if record.get("error"):
+        pairs.append(("error", record["error"]))
+    if record.get("report") is not None:
+        from repro.service import decode_report
+
+        report = decode_report(record["report"])
+        pairs += mutation_summary_pairs(report)
+        pairs.append(("campaign time", f"{report.seconds:.2f} s"))
+    print(format_kv(pairs))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    client = _service_client(args)
+    record = client.cancel(args.job_id)
+    print(f"job {record['id']}: cancellation requested "
+          f"(status {record['status']})")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.mutation import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(format_kv([
+            ("cache directory", stats["root"]),
+            ("entries", stats["entries"]),
+            ("bytes", stats["bytes"]),
+        ]))
+        if stats["per_ip"]:
+            rows = [
+                [ip, bucket["entries"], bucket["bytes"]]
+                for ip, bucket in sorted(stats["per_ip"].items())
+            ]
+            print(format_table(
+                ["IP", "entries", "bytes"], rows,
+                title="Per-IP breakdown",
+            ))
+        return 0
+    if args.max_bytes is None and args.older_than is None:
+        print("error: prune needs --max-bytes and/or --older-than",
+              file=sys.stderr)
+        return 2
+    result = cache.prune(
+        max_bytes=args.max_bytes, older_than_s=args.older_than
+    )
+    print(format_kv([
+        ("removed entries", result["removed_entries"]),
+        ("removed bytes", result["removed_bytes"]),
+        ("kept entries", result["kept_entries"]),
+        ("kept bytes", result["kept_bytes"]),
+    ]))
+    return 0
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    from repro.service import DEFAULT_PORT
+
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="service host (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"service port (default: {DEFAULT_PORT})")
+
+
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persistent content-addressed result cache: "
@@ -419,6 +664,87 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None)
     p_emit.add_argument("--variant", choices=["sctypes", "hdtlib"],
                         default="hdtlib")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async campaign service (HTTP job queue)",
+        description=(
+            "Run the long-lived campaign service: POST /jobs queues "
+            "campaigns onto one shared scheduler pool, GET "
+            "/jobs/<id>/events streams per-shard progress as NDJSON, "
+            "DELETE /jobs/<id> cancels shard-granularly, GET /healthz "
+            "reports pool/queue/cache stats.  See docs/service.md."
+        ),
+    )
+    _add_service_options(p_serve)
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="shared-pool worker processes for the "
+                              "campaign shards (default: 2)")
+    p_serve.add_argument("--max-jobs", type=int, default=4,
+                         help="campaigns running concurrently; further "
+                              "submissions queue (default: 4)")
+    p_serve.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="persist job records here (finished "
+                              "reports survive restarts); default: "
+                              "in-memory only")
+    p_serve.add_argument("--ready-file", default=None, metavar="FILE",
+                         help="write 'host port' here once listening "
+                              "(for scripts booting on --port 0)")
+    _add_cache_options(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a campaign job to the service"
+    )
+    p_submit.add_argument("ip", choices=sorted(CASE_STUDIES))
+    p_submit.add_argument("sensor", choices=["razor", "counter"])
+    p_submit.add_argument("--cycles", type=int, default=None,
+                          help="testbench cycles (default: per-IP value)")
+    p_submit.add_argument("--shard-size", type=int, default=None,
+                          help="mutants per shard (default: auto)")
+    p_submit.add_argument("--no-recovery", action="store_true",
+                          help="disable Razor recovery in the campaign")
+    p_submit.add_argument("--stop-on-survivor", action="store_true",
+                          help="abort the job on the first surviving "
+                               "mutant")
+    p_submit.add_argument("--score-threshold", type=float, default=None,
+                          help="abort once the running killed%% reaches "
+                               "this threshold")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="stream the job to completion (like "
+                               "repro watch)")
+    _add_service_options(p_submit)
+
+    p_status = sub.add_parser(
+        "status", help="one job's record, or a table of all jobs"
+    )
+    p_status.add_argument("job_id", nargs="?", default=None)
+    _add_service_options(p_status)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream a job's events live"
+    )
+    p_watch.add_argument("job_id")
+    _add_service_options(p_watch)
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a queued/running job"
+    )
+    p_cancel.add_argument("job_id")
+    _add_service_options(p_cancel)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect / garbage-collect a result cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "prune"])
+    p_cache.add_argument("--cache-dir", required=True, metavar="DIR",
+                         help="the result cache directory")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="prune: evict oldest entries until the "
+                              "store fits this many bytes")
+    p_cache.add_argument("--older-than", type=float, default=None,
+                         metavar="SECONDS",
+                         help="prune: remove entries last written more "
+                              "than this many seconds ago")
     return parser
 
 
@@ -431,6 +757,12 @@ def main(argv: "list[str] | None" = None) -> int:
         "bench": _cmd_bench,
         "timing": _cmd_timing,
         "emit": _cmd_emit,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "watch": _cmd_watch,
+        "cancel": _cmd_cancel,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

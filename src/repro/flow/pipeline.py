@@ -222,8 +222,11 @@ def run_flow(
         rtl_validation_cycles = spec.mutation_cycles
     if run_mutation:
         stimuli = spec.stimulus(mutation_cycles)
+        # The GeneratedTlm itself (not a bare factory) keeps the
+        # golden fingerprintable, so a warm cache can replay the
+        # golden trace and skip the reference simulation entirely.
         result.mutation = run_mutation_analysis(
-            result.golden_factory(),
+            tlm_optimized,
             injected,
             stimuli,
             ip_name=spec.name,

@@ -71,6 +71,7 @@ from .scheduler import (
     SuiteResult,
     iter_campaign,
     run_benchmark_suite,
+    stream_shard_batches,
 )
 
 __all__ = [
@@ -96,6 +97,7 @@ __all__ = [
     "SuiteResult",
     "iter_campaign",
     "run_benchmark_suite",
+    "stream_shard_batches",
     "ResultCache",
     "PreparedRtlValidation",
     "RtlMutantOutcome",

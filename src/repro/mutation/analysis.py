@@ -102,6 +102,10 @@ class MutationReport:
     #: every scored field -- the cache must never change a verdict.
     cache_hits: "int | None" = field(default=None, compare=False)
     cache_misses: "int | None" = field(default=None, compare=False)
+    #: Whether the golden trace was replayed from the result cache
+    #: (``True``), simulated and stored (``False``), or the campaign
+    #: ran cache-less / with an unfingerprintable golden (``None``).
+    golden_cache_hit: "bool | None" = field(default=None, compare=False)
 
     @property
     def total(self) -> int:

@@ -34,11 +34,31 @@ keys: the two modes are lockstep-equivalent by construction (see
 :mod:`repro.rtl.compile` and ``tests/test_compiled_kernel.py``), so a
 mode switch replays instead of re-executing.
 
+The **golden trace** itself is cached too (:func:`golden_entry_key`):
+it is a pure function of (golden-model structural fingerprint, stimuli
+hash, sensor type, recovery bit), so a warm
+:func:`~repro.mutation.campaign.prepare_campaign` replays it and skips
+the per-campaign golden simulation entirely.  Whether the trace was
+replayed or simulated is surfaced as
+:attr:`~repro.mutation.analysis.MutationReport.golden_cache_hit` and
+by :func:`repro.reporting.mutation_summary_pairs`.
+
 Storage is one JSON object per entry under
 ``<root>/objects/<key[:2]>/<key>.json`` with atomic writes
 (temp-file + ``os.replace``), so concurrent campaigns sharing a cache
 directory never observe torn entries.  ``ResultCache(None)`` keeps the
-store in memory -- same semantics, no filesystem.
+store in memory -- same semantics, no filesystem.  One
+:class:`ResultCache` instance may be shared by many threads (the
+campaign service stores every job's verdicts in one cache): lookups
+hit the filesystem or the GIL-protected dict directly and the hit/miss
+counters are guarded by a lock.
+
+Housekeeping is explicit, never implicit: entries are immutable and
+correct forever, so nothing is ever evicted behind the user's back --
+:meth:`ResultCache.stats` reports the entry count, byte footprint and
+per-IP breakdown (the ``repro cache stats`` CLI and the service's
+``/healthz`` endpoint), and :meth:`ResultCache.prune` garbage-collects
+by age and/or byte budget (``repro cache prune``).
 
 Determinism note: replayed outcomes are field-for-field identical to
 freshly-executed ones (covered by ``tests/test_cache.py``), so a
@@ -51,14 +71,19 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 
 __all__ = [
     "CACHE_SCHEMA",
     "ResultCache",
+    "decode_golden_trace",
     "decode_outcome",
     "decode_rtl_outcome",
+    "encode_golden_trace",
     "encode_outcome",
     "encode_rtl_outcome",
+    "golden_entry_key",
     "golden_trace_hash",
     "model_fingerprint",
     "mutant_entry_key",
@@ -164,6 +189,31 @@ def mutant_entry_key(
     ))
 
 
+def golden_entry_key(
+    model_fp: str,
+    stim_hash: str,
+    sensor_type: str,
+    *,
+    recovery: bool,
+) -> str:
+    """Entry key for one memoised golden trace.
+
+    The golden stream is a pure function of the *golden* model's
+    structural fingerprint, the stimuli and the judgement inputs that
+    shape the reference run (sensor type selects the recovery poke;
+    the recovery bit is driven into Razor models) -- never of any
+    mutant, so one entry serves every campaign against that reference.
+    """
+    return _digest((
+        "golden",
+        CACHE_SCHEMA,
+        model_fp,
+        stim_hash,
+        sensor_type,
+        bool(recovery),
+    ))
+
+
 def rtl_fingerprint(augmented) -> str:
     """Structural fingerprint of an augmented RTL design.
 
@@ -255,6 +305,37 @@ def decode_outcome(payload: dict, index: int):
     )
 
 
+def encode_golden_trace(golden, ip: "str | None" = None) -> dict:
+    """JSON payload for a :class:`~repro.mutation.analysis.GoldenTrace`
+    (the ``ip`` tag feeds the per-IP cache statistics only)."""
+    payload = {
+        "entry": "golden",
+        "functional_ports": list(golden.functional_ports),
+        "full": [dict(outs) for outs in golden.full],
+    }
+    if ip is not None:
+        payload["ip"] = ip
+    return payload
+
+
+def decode_golden_trace(payload: dict):
+    """Rebuild a :class:`~repro.mutation.analysis.GoldenTrace` from a
+    cache payload.  The rebuilt trace is content-identical to the
+    simulated one, so :func:`golden_trace_hash` -- a component of every
+    mutant entry key -- digests to the same value either way."""
+    from .analysis import GoldenTrace, _functional
+
+    functional_ports = tuple(payload["functional_ports"])
+    full = tuple(dict(outs) for outs in payload["full"])
+    return GoldenTrace(
+        functional_ports=functional_ports,
+        full=full,
+        functional=tuple(
+            _functional(outs, functional_ports) for outs in full
+        ),
+    )
+
+
 def encode_rtl_outcome(outcome) -> dict:
     """JSON payload for an :class:`RtlMutantOutcome`."""
     spec = outcome.spec
@@ -310,7 +391,8 @@ class ResultCache:
     absent.  Writes are atomic (temp file + ``os.replace``); a torn or
     corrupt file reads as a miss and is rewritten.
 
-    The instance counts its own ``hits`` / ``misses`` cumulatively;
+    The instance counts its own ``hits`` / ``misses`` cumulatively
+    (lock-guarded -- one cache may serve many service job threads);
     per-campaign counts are reported by
     :class:`~repro.mutation.MutationReport.cache_hits` /
     ``cache_misses`` on each report.
@@ -319,6 +401,10 @@ class ResultCache:
     def __init__(self, root: "str | os.PathLike | None" = None) -> None:
         self.root = os.fspath(root) if root is not None else None
         self._mem: "dict[str, dict]" = {}
+        #: In-memory entry timestamps, so :meth:`prune` can apply the
+        #: same age/budget policy the disk backend reads from mtimes.
+        self._times: "dict[str, float]" = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -337,16 +423,19 @@ class ResultCache:
                     payload = json.load(handle)
             except (OSError, ValueError):
                 payload = None
-        if payload is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            if payload is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return payload
 
     def put(self, key: str, payload: dict) -> None:
         """Store ``payload`` under ``key`` (atomic on disk)."""
         if self.root is None:
-            self._mem[key] = payload
+            with self._lock:
+                self._mem[key] = payload
+                self._times[key] = time.time()
             return
         path = self._path(key)
         directory = os.path.dirname(path)
@@ -395,3 +484,134 @@ class ResultCache:
             len([f for f in files if f.endswith(".json")])
             for _, _, files in os.walk(objects)
         )
+
+    # -- housekeeping -----------------------------------------------------
+
+    def _entries(self):
+        """``(key, path_or_None, size_bytes, mtime)`` for every stored
+        entry, oldest first.  Disk sizes/times come from ``stat`` (no
+        payload read); memory sizes are the serialised JSON length, so
+        both backends report comparable byte footprints."""
+        rows = []
+        if self.root is None:
+            with self._lock:
+                snapshot = [
+                    (key, payload, self._times.get(key, 0.0))
+                    for key, payload in self._mem.items()
+                ]
+            for key, payload, when in snapshot:
+                size = len(json.dumps(payload, sort_keys=True))
+                rows.append((key, None, size, when))
+        else:
+            objects = os.path.join(self.root, "objects")
+            if os.path.isdir(objects):
+                for dirpath, _, files in os.walk(objects):
+                    for name in files:
+                        if not name.endswith(".json"):
+                            continue
+                        path = os.path.join(dirpath, name)
+                        try:
+                            st = os.stat(path)
+                        except OSError:
+                            continue  # pruned concurrently
+                        rows.append(
+                            (name[:-5], path, st.st_size, st.st_mtime)
+                        )
+        rows.sort(key=lambda r: (r[3], r[0]))
+        return rows
+
+    def _entry_ip(self, key: str, path: "str | None") -> str:
+        """The ``ip`` tag of one entry (``"(untagged)"`` for entries
+        written before tagging existed, or by ad-hoc campaigns)."""
+        if path is None:
+            payload = self._mem.get(key) or {}
+        else:
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                payload = {}
+        return payload.get("ip") or "(untagged)"
+
+    def stats(self) -> dict:
+        """Store-wide statistics: entry count, byte footprint and the
+        per-IP breakdown.  Shared by ``repro cache stats`` and the
+        service's ``/healthz`` endpoint."""
+        per_ip: "dict[str, dict]" = {}
+        entries = 0
+        total_bytes = 0
+        for key, path, size, _ in self._entries():
+            entries += 1
+            total_bytes += size
+            bucket = per_ip.setdefault(
+                self._entry_ip(key, path), {"entries": 0, "bytes": 0}
+            )
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return {
+            "backend": "memory" if self.root is None else "disk",
+            "root": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "per_ip": per_ip,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def _remove(self, key: str, path: "str | None") -> None:
+        if path is None:
+            with self._lock:
+                self._mem.pop(key, None)
+                self._times.pop(key, None)
+            return
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def prune(
+        self,
+        *,
+        max_bytes: "int | None" = None,
+        older_than_s: "float | None" = None,
+    ) -> dict:
+        """Garbage-collect the store.
+
+        ``older_than_s`` removes every entry last written more than
+        that many seconds ago; ``max_bytes`` then evicts the *oldest*
+        remaining entries until the store fits the budget (entries are
+        immutable and re-creatable, so oldest-first is safe -- a
+        pruned verdict simply re-executes on its next campaign).
+        Returns removed/kept entry and byte counts.
+        """
+        cutoff = (
+            time.time() - older_than_s if older_than_s is not None else None
+        )
+        removed_entries = removed_bytes = 0
+        survivors = []
+        for key, path, size, mtime in self._entries():
+            if cutoff is not None and mtime < cutoff:
+                self._remove(key, path)
+                removed_entries += 1
+                removed_bytes += size
+            else:
+                survivors.append((key, path, size))
+        if max_bytes is not None:
+            kept_bytes = sum(size for _, _, size in survivors)
+            doomed = []
+            for entry in survivors:       # oldest first
+                if kept_bytes <= max_bytes:
+                    break
+                doomed.append(entry)
+                kept_bytes -= entry[2]
+            for key, path, size in doomed:
+                self._remove(key, path)
+                removed_entries += 1
+                removed_bytes += size
+            survivors = survivors[len(doomed):]
+        return {
+            "removed_entries": removed_entries,
+            "removed_bytes": removed_bytes,
+            "kept_entries": len(survivors),
+            "kept_bytes": sum(size for _, _, size in survivors),
+        }

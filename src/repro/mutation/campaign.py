@@ -27,7 +27,12 @@ source.  The engine amortises both:
    previously-computed verdicts are **replayed** instead of executed:
    :func:`prepare_campaign` probes the cache per mutant, shards only
    the misses, and carries the replayed outcomes (plus per-mutant
-   entry keys for write-back) on the :class:`PreparedCampaign`.
+   entry keys for write-back) on the :class:`PreparedCampaign`.  The
+   golden trace itself is cached the same way (keyed by the golden
+   model's structural fingerprint and the stimuli hash), so a warm
+   preparation skips the golden simulation entirely -- pass the golden
+   as a :class:`GeneratedTlm` (not a bare factory) to make it
+   fingerprintable.
 
 This module owns campaign *preparation* (tap-order resolution, golden
 memoisation, shard construction -- :func:`prepare_campaign`) and the
@@ -127,6 +132,10 @@ class PreparedCampaign:
     cache_keys: "tuple[str, ...] | None" = None
     cache_hits: "int | None" = None
     cache_misses: "int | None" = None
+    #: ``True`` when the golden trace was replayed from the cache,
+    #: ``False`` when it was simulated (and stored), ``None`` when no
+    #: cache was in play or the golden was not fingerprintable.
+    golden_cached: "bool | None" = None
 
     @property
     def total_shards(self) -> int:
@@ -149,6 +158,7 @@ class PreparedCampaign:
             cycles_per_run=self.cycles_per_run,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            golden_cache_hit=self.golden_cached,
         )
         report.seconds = seconds
         return report
@@ -250,8 +260,11 @@ def prepare_campaign(
     """Run the mutant-independent campaign setup once.
 
     Simulates the golden model (exactly once, regardless of the mutant
-    count), resolves the Counter tap order lazily (razor campaigns
-    skip the generated-source probe entirely), probes ``cache`` (a
+    count -- or not at all, when ``cache`` holds the golden trace for
+    this (golden fingerprint, stimuli) pair and ``golden`` is a
+    fingerprintable :class:`GeneratedTlm`), resolves the Counter tap
+    order lazily (razor campaigns skip the generated-source probe
+    entirely), probes ``cache`` (a
     :class:`~repro.mutation.cache.ResultCache`) for already-known
     verdicts, and partitions the remaining mutant indices into
     :class:`CampaignShard` work units sized for ``workers`` /
@@ -265,10 +278,39 @@ def prepare_campaign(
     specs = injected.mutants
     taps = resolve_tap_order(injected, sensor_type, tap_order)
 
-    golden_model = _resolve_golden_model(golden)
-    golden_trace = compute_golden_trace(
-        golden_model, stimuli, sensor_type=sensor_type, recovery=recovery
-    )
+    golden_trace = None
+    golden_cached = None
+    golden_key = None
+    if cache is not None and isinstance(golden, GeneratedTlm):
+        from .cache import (
+            decode_golden_trace,
+            golden_entry_key,
+            model_fingerprint,
+            stimuli_hash,
+        )
+
+        golden_key = golden_entry_key(
+            model_fingerprint(golden),
+            stimuli_hash(stimuli),
+            sensor_type,
+            recovery=recovery,
+        )
+        payload = cache.get(golden_key)
+        if payload is not None:
+            golden_trace = decode_golden_trace(payload)
+            golden_cached = True
+    if golden_trace is None:
+        golden_model = _resolve_golden_model(golden)
+        golden_trace = compute_golden_trace(
+            golden_model, stimuli, sensor_type=sensor_type, recovery=recovery
+        )
+        if golden_key is not None:
+            from .cache import encode_golden_trace
+
+            cache.put(
+                golden_key, encode_golden_trace(golden_trace, ip=ip_name)
+            )
+            golden_cached = False
 
     cached_outcomes: "list" = []
     cache_keys = None
@@ -322,6 +364,7 @@ def prepare_campaign(
         cache_keys=cache_keys,
         cache_hits=hits,
         cache_misses=misses,
+        golden_cached=golden_cached,
     )
 
 
@@ -345,7 +388,10 @@ def run_campaign(
     Args:
         golden: the non-injected reference -- a factory callable, a
             :class:`GeneratedTlm`, or a constructed model.  It is
-            simulated exactly once, regardless of the mutant count.
+            simulated exactly once, regardless of the mutant count;
+            pass the :class:`GeneratedTlm` itself to let a warm
+            ``cache`` replay the golden trace and skip even that one
+            simulation.
         injected: the ADAM-generated description; a fresh instance is
             created per mutant from a per-process compiled class.
         stimuli: per-cycle ``name -> int`` input vectors.

@@ -464,7 +464,7 @@ def validate_at_rtl(
                 from .cache import encode_rtl_outcome
 
                 _write_back(cache, prepared.cache_keys, batch,
-                            encode_rtl_outcome)
+                            encode_rtl_outcome, ip=ip_name)
             outcomes.extend(batch)
     return prepared.build_report(
         outcomes, seconds=time.perf_counter() - started

@@ -47,6 +47,7 @@ excluded from every aggregate percentage (``effective_total``).
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -71,6 +72,7 @@ __all__ = [
     "iter_campaign",
     "run_benchmark_suite",
     "stream_prepared",
+    "stream_shard_batches",
 ]
 
 
@@ -214,22 +216,41 @@ class CampaignScheduler:
     :class:`~repro.sensors.insertion.AugmentedIP` or an opaque drive
     callable, neither of which pickles) execute in the parent process
     even when a pool exists.
+
+    The scheduler is **thread-safe**: many threads (the campaign
+    service runs one per in-flight job) may submit shards to one
+    scheduler concurrently.  Pool creation and shutdown are
+    lock-guarded; ``ProcessPoolExecutor.submit`` is thread-safe by
+    contract; inline execution happens on the submitting thread.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, *, mp_context=None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        #: Optional :mod:`multiprocessing` context for the pool.  The
+        #: default (``None``) keeps the platform default (``fork`` on
+        #: Linux -- cheapest for one-shot batch runs from a
+        #: single-threaded parent).  A *threaded* parent -- the
+        #: campaign service, whose job threads trigger the lazy pool
+        #: creation -- must pass a fork+exec context (``forkserver``
+        #: or ``spawn``): forking a multi-threaded process can
+        #: deadlock the children on locks snapshotted mid-hold.
+        self.mp_context = mp_context
         self._pool: "ProcessPoolExecutor | None" = None
         self._closed = False
+        self._lock = threading.Lock()
 
     def pool(self) -> ProcessPoolExecutor:
         """The lazily-created shared executor (``workers > 1`` only)."""
-        if self._closed:
-            raise RuntimeError("scheduler has been shut down")
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler has been shut down")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self.mp_context
+                )
+            return self._pool
 
     def submit(self, shard) -> Future:
         """Submit one shard; returns a future of its outcome list.
@@ -251,10 +272,11 @@ class CampaignScheduler:
         """Close the scheduler and tear down the pool (if one was ever
         created).  Further submissions raise; ``wait=False`` returns
         without joining the worker processes."""
-        self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=wait)
-            self._pool = None
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
 
     def __enter__(self) -> "CampaignScheduler":
         return self
@@ -294,33 +316,100 @@ def _stream_shard_results(scheduler: "CampaignScheduler", shards, *,
     pool slot so a ``stop()`` predicate (e.g. an abort policy)
     genuinely stops work instead of merely ignoring results of shards
     already queued behind the pool.  The low-level drain loop shared
-    by :func:`stream_prepared` and
-    :func:`repro.mutation.rtl_validation.validate_at_rtl`."""
+    by :func:`stream_shard_batches` and
+    :func:`repro.mutation.rtl_validation.validate_at_rtl`.
+
+    The in-flight window is **never abandoned**: if the consumer stops
+    iterating early -- a raising ``progress`` callback, an aborted
+    stream, a disconnected service client closing its generator -- the
+    ``finally`` block cancels what it can and drains the rest, so a
+    shared pool is left with no orphan futures and the next campaign
+    starts clean.
+    """
     remaining = iter(shards)
     pending: "set[Future]" = set()
     exhausted = False
-    while True:
-        while not exhausted and len(pending) < scheduler.workers and \
-                not (stop is not None and stop()):
-            shard = next(remaining, None)
-            if shard is None:
-                exhausted = True
+    try:
+        while True:
+            while not exhausted and len(pending) < scheduler.workers and \
+                    not (stop is not None and stop()):
+                shard = next(remaining, None)
+                if shard is None:
+                    exhausted = True
+                    break
+                pending.add(scheduler.submit(shard))
+            if not pending:
                 break
-            pending.add(scheduler.submit(shard))
-        if not pending:
-            break
-        done, pending = wait(pending, return_when=FIRST_COMPLETED)
-        for future in done:
-            yield future.result()
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+    finally:
+        if pending:
+            for future in pending:
+                future.cancel()
+            wait(pending)
 
 
-def _write_back(cache, cache_keys, outcomes, encode) -> None:
+def _write_back(cache, cache_keys, outcomes, encode, ip=None) -> None:
     """Store freshly-executed outcomes under their prepare-time entry
-    keys (no-op without a cache)."""
+    keys (no-op without a cache).  ``ip`` tags each payload for the
+    per-IP cache statistics (:meth:`ResultCache.stats`); the tag is
+    informational and ignored on decode."""
     if cache is None or cache_keys is None:
         return
     for outcome in outcomes:
-        cache.put(cache_keys[outcome.index], encode(outcome))
+        payload = encode(outcome)
+        if ip is not None:
+            payload["ip"] = ip
+        cache.put(cache_keys[outcome.index], payload)
+
+
+def stream_shard_batches(
+    scheduler: "CampaignScheduler",
+    prepared: PreparedCampaign,
+    *,
+    progress=None,
+    abort: "AbortPolicy | None" = None,
+    cache=None,
+):
+    """Run an already-prepared campaign on ``scheduler``, yielding one
+    ``(outcomes, CampaignProgress)`` pair per completed shard.  The
+    shard-granular streaming core shared by :func:`stream_prepared`
+    and the campaign service (whose ``/jobs/<id>/events`` wire format
+    is exactly this: per-shard outcome batches interleaved with
+    progress snapshots); the caller owns the scheduler's lifetime.
+
+    Cache-replayed outcomes (``prepared.cached_outcomes``) are yielded
+    first as one virtual shard -- they count toward progress and can
+    trigger the abort policy before any submission happens.  Freshly
+    executed outcomes are written back to ``cache`` as their shards
+    complete (pass the same cache the campaign was prepared with).
+
+    Abandoning the generator early (``close()``, or an exception out
+    of a ``progress`` callback) stops submission and drains in-flight
+    shards before returning, so a shared scheduler is never left with
+    orphan work -- see :func:`_stream_shard_results`.
+    """
+    from .cache import encode_outcome
+
+    tracker = _CampaignTracker(prepared, abort)
+    if prepared.cached_outcomes:
+        tracker.absorb(prepared.cached_outcomes, progress)
+        yield list(prepared.cached_outcomes), tracker.snapshot()
+    results = _stream_shard_results(
+        scheduler, prepared.shards, stop=lambda: tracker.aborted
+    )
+    try:
+        for outcomes in results:
+            _write_back(cache, prepared.cache_keys, outcomes,
+                        encode_outcome, ip=prepared.ip_name)
+            tracker.absorb(outcomes, progress)
+            yield outcomes, tracker.snapshot()
+    finally:
+        # Deterministic cleanup even when our *own* frame is torn down
+        # mid-yield (consumer close) or a callback raised above: close
+        # the drain loop now instead of waiting for GC.
+        results.close()
 
 
 def stream_prepared(
@@ -335,26 +424,18 @@ def stream_prepared(
     ``MutantOutcome``s as shards complete.  The streaming core shared
     by :func:`iter_campaign` and
     :func:`repro.mutation.campaign.run_campaign`; the caller owns the
-    scheduler's lifetime.
-
-    Cache-replayed outcomes (``prepared.cached_outcomes``) are yielded
-    first as one virtual shard -- they count toward progress and can
-    trigger the abort policy before any submission happens.  Freshly
-    executed outcomes are written back to ``cache`` as their shards
-    complete (pass the same cache the campaign was prepared with).
+    scheduler's lifetime.  Outcome-granular flattening of
+    :func:`stream_shard_batches` -- see there for the cache-replay and
+    early-abandonment semantics.
     """
-    from .cache import encode_outcome
-
-    tracker = _CampaignTracker(prepared, abort)
-    if prepared.cached_outcomes:
-        tracker.absorb(prepared.cached_outcomes, progress)
-        yield from prepared.cached_outcomes
-    for outcomes in _stream_shard_results(
-        scheduler, prepared.shards, stop=lambda: tracker.aborted
-    ):
-        _write_back(cache, prepared.cache_keys, outcomes, encode_outcome)
-        tracker.absorb(outcomes, progress)
-        yield from outcomes
+    batches = stream_shard_batches(
+        scheduler, prepared, progress=progress, abort=abort, cache=cache
+    )
+    try:
+        for outcomes, _snapshot in batches:
+            yield from outcomes
+    finally:
+        batches.close()
 
 
 def iter_campaign(
@@ -520,7 +601,7 @@ class _SuiteJob:
         from .cache import encode_outcome
 
         _write_back(cache, self.prepared.cache_keys, outcomes,
-                    encode_outcome)
+                    encode_outcome, ip=self.key[0])
 
     @property
     def complete(self) -> bool:
@@ -550,7 +631,7 @@ class _RtlSuiteJob:
         from .cache import encode_rtl_outcome
 
         _write_back(cache, self.prepared.cache_keys, outcomes,
-                    encode_rtl_outcome)
+                    encode_rtl_outcome, ip=self.key[0])
 
     @property
     def complete(self) -> bool:
@@ -694,8 +775,7 @@ def run_benchmark_suite(
                     lambda f: completion.setdefault(f, time.perf_counter())
                 )
 
-    # A passed scheduler defines the pool width; shard to fill it.
-    with _leased_scheduler(scheduler, workers) as sched:
+    def _run_suite(sched) -> None:
         for spec in resolved:
             for sensor in sensor_types:
                 key = (spec.name, sensor)
@@ -720,7 +800,9 @@ def run_benchmark_suite(
                 # the flow build above is suite setup, not campaign.
                 job_started = time.perf_counter()
                 prepared = prepare_campaign(
-                    flow.golden_factory(),
+                    # The GeneratedTlm (not a bare factory) keeps the
+                    # golden fingerprintable for golden-trace caching.
+                    flow.tlm_optimized,
                     flow.injected,
                     stimuli,
                     ip_name=spec.name,
@@ -779,6 +861,21 @@ def run_benchmark_suite(
                 _absorb_done(block=False)
         while futures:
             _absorb_done(block=True)
+
+    # A passed scheduler defines the pool width; shard to fill it.
+    with _leased_scheduler(scheduler, workers) as sched:
+        try:
+            _run_suite(sched)
+        except BaseException:
+            # A raising progress callback (or any mid-suite failure)
+            # must not leave orphan futures behind on a *shared* pool:
+            # cancel what never started, drain what is in flight, so
+            # the next suite on the same scheduler starts clean.
+            for future in futures:
+                future.cancel()
+            if futures:
+                wait(set(futures))
+            raise
     campaign_seconds = time.perf_counter() - campaign_started
 
     reports = {

@@ -60,7 +60,9 @@ def mutation_summary_pairs(report) -> "list[tuple[str, object]]":
 
     When the campaign ran against a result cache
     (:class:`repro.mutation.ResultCache`), a ``result cache`` row
-    states how many verdicts were replayed versus executed.
+    states how many verdicts were replayed versus executed, and a
+    ``golden trace`` row whether the reference simulation itself was
+    replayed (fingerprint-keyed golden caching) or simulated fresh.
     """
     timed_out = report.timed_out_count
     if timed_out:
@@ -83,6 +85,12 @@ def mutation_summary_pairs(report) -> "list[tuple[str, object]]":
         pairs.append((
             "result cache",
             f"{report.cache_hits} hits / {report.cache_misses} misses",
+        ))
+    golden_hit = getattr(report, "golden_cache_hit", None)
+    if golden_hit is not None:
+        pairs.append((
+            "golden trace",
+            "replayed from cache" if golden_hit else "simulated (stored)",
         ))
     return pairs
 

@@ -1,0 +1,144 @@
+"""Stdlib HTTP client for the campaign service.
+
+:class:`ServiceClient` speaks exactly the wire format defined in
+:mod:`repro.service.api` -- submit a :class:`~repro.service.jobs.JobSpec`
+payload, poll records, stream NDJSON events, cancel -- over plain
+``http.client`` connections (one per request, matching the server's
+``Connection: close`` policy).  The ``repro submit|status|watch|cancel``
+CLI subcommands are thin wrappers over it, and the service tests use
+it to assert the streamed reports against direct
+:func:`~repro.mutation.run_campaign` runs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from .api import decode_report
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service (carries the HTTP status
+    and the server's ``error`` text)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Client for one ``repro serve`` endpoint.
+
+    Args:
+        host / port: where the service listens.
+        timeout: socket timeout (seconds) for request/response calls;
+            event streams (:meth:`events`, :meth:`watch`) use
+            ``stream_timeout`` instead, which defaults to unlimited --
+            a campaign may legitimately stay silent while a long shard
+            executes.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731, *,
+                 timeout: float = 60.0,
+                 stream_timeout: "float | None" = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.stream_timeout = stream_timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, data.get("error", "unknown error")
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, spec: "dict") -> dict:
+        """``POST /jobs``: submit a job-spec payload (see
+        :class:`~repro.service.jobs.JobSpec`); returns the queued job
+        record (``record["id"]`` is the handle for everything else)."""
+        return self._request("POST", "/jobs", spec)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``: the full job record."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> "list[dict]":
+        """``GET /jobs``: every record, oldest first."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /jobs/<id>``: request shard-granular cancellation;
+        returns the record (the terminal ``aborted`` state lands once
+        in-flight shards drain)."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def events(self, job_id: str):
+        """``GET /jobs/<id>/events``: generator of event dicts, ending
+        with (and including) the terminal ``end`` event.  Closing the
+        generator closes the connection; the job keeps running."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.stream_timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read() or b"{}")
+                raise ServiceError(
+                    response.status, data.get("error", "unknown error")
+                )
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                yield event
+                if event.get("type") == "end":
+                    return
+        finally:
+            conn.close()
+
+    def watch(self, job_id: str, on_event=None) -> dict:
+        """Stream a job to completion; returns its terminal ``end``
+        event.  ``on_event`` (if given) sees every event, terminal
+        included."""
+        last = None
+        for event in self.events(job_id):
+            if on_event is not None:
+                on_event(event)
+            last = event
+        if last is None or last.get("type") != "end":
+            raise ServiceError(0, "event stream ended without 'end' event")
+        return last
+
+    def report(self, job_id: str):
+        """The job's decoded :class:`~repro.mutation.MutationReport`,
+        or ``None`` while it has no report yet."""
+        payload = self.job(job_id).get("report")
+        return decode_report(payload) if payload is not None else None

@@ -154,11 +154,14 @@ class TestCampaignCache:
         cold = _campaign(golden, injected, stimuli, cache=cache)
         assert cold.cache_hits == 0
         assert cold.cache_misses == cold.total == len(injected.mutants)
-        assert len(cache) == cold.total
+        # One entry per mutant verdict, plus the memoised golden trace.
+        assert len(cache) == cold.total + 1
+        assert cold.golden_cache_hit is False
 
         warm = _campaign(golden, injected, stimuli, cache=cache)
         assert warm.cache_hits == warm.total
         assert warm.cache_misses == 0
+        assert warm.golden_cache_hit is True
         # Field-for-field identical across uncached, cold and warm.
         assert baseline == cold == warm
         assert baseline.outcomes == warm.outcomes
@@ -352,3 +355,178 @@ class TestSharedPoolAndSuite:
             assert cold.reports[key] == warm.reports[key]
             assert cold.rtl_reports[key] == warm.rtl_reports[key]
         assert reference.cache_hits is None
+
+
+class TestGoldenTraceCache:
+    """PR-5 satellite: the golden trace is itself cached, keyed by
+    (golden-model fingerprint, stimuli hash, sensor type, recovery),
+    so a warm preparation skips the golden simulation entirely."""
+
+    def test_warm_prepare_skips_golden_simulation(self, razor_campaign,
+                                                  monkeypatch):
+        from repro.mutation import campaign as campaign_mod
+
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        cold = _campaign(golden, injected, stimuli, cache=cache)
+        assert cold.golden_cache_hit is False
+
+        simulated = []
+        real = campaign_mod.compute_golden_trace
+
+        def spy(*args, **kwargs):
+            simulated.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(campaign_mod, "compute_golden_trace", spy)
+        warm = prepare_campaign(
+            golden, injected, stimuli,
+            ip_name="cache_ip", sensor_type="razor", cache=cache,
+        )
+        assert warm.golden_cached is True
+        assert simulated == []          # no golden simulation at all
+        # ... and the replayed trace indexes the same mutant entries:
+        # every verdict hits.
+        assert warm.cache_hits == warm.total
+
+    def test_replayed_trace_hashes_identically(self, razor_campaign):
+        from repro.mutation.analysis import compute_golden_trace
+        from repro.mutation.cache import (
+            decode_golden_trace,
+            encode_golden_trace,
+        )
+
+        golden, _, stimuli = razor_campaign
+        trace = compute_golden_trace(
+            golden.instantiate(), stimuli,
+            sensor_type="razor", recovery=True,
+        )
+        replayed = decode_golden_trace(encode_golden_trace(trace))
+        assert replayed == trace
+        assert golden_trace_hash(replayed) == golden_trace_hash(trace)
+
+    def test_factory_golden_bypasses_golden_cache(self, razor_campaign):
+        # A bare factory callable has no structural fingerprint, so
+        # golden caching stays off (mutant caching still works: the
+        # trace content feeds the mutant keys either way).
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        prepared = prepare_campaign(
+            lambda: golden.instantiate(), injected, stimuli,
+            ip_name="cache_ip", sensor_type="razor", cache=cache,
+        )
+        assert prepared.golden_cached is None
+        assert prepared.cache_misses == prepared.total
+
+    def test_recovery_bit_is_part_of_the_golden_key(self, razor_campaign):
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        first = prepare_campaign(
+            golden, injected, stimuli,
+            ip_name="cache_ip", sensor_type="razor", recovery=True,
+            cache=cache,
+        )
+        other = prepare_campaign(
+            golden, injected, stimuli,
+            ip_name="cache_ip", sensor_type="razor", recovery=False,
+            cache=cache,
+        )
+        assert first.golden_cached is False
+        assert other.golden_cached is False   # different key: no hit
+
+    def test_summary_pairs_surface_the_golden_row(self, razor_campaign):
+        from repro.reporting import mutation_summary_pairs
+
+        golden, injected, stimuli = razor_campaign
+        cache = ResultCache(None)
+        cold = _campaign(golden, injected, stimuli, cache=cache)
+        warm = _campaign(golden, injected, stimuli, cache=cache)
+        uncached = _campaign(golden, injected, stimuli)
+        assert dict(mutation_summary_pairs(cold))["golden trace"] == \
+            "simulated (stored)"
+        assert dict(mutation_summary_pairs(warm))["golden trace"] == \
+            "replayed from cache"
+        assert "golden trace" not in dict(mutation_summary_pairs(uncached))
+
+
+class TestCacheHousekeeping:
+    """PR-5 satellite: `ResultCache.stats()` / `prune()` behind the
+    `repro cache` CLI and the service's /healthz."""
+
+    def _seed(self, cache):
+        cache.put("aa" * 32, {"ip": "dsp", "x": 1})
+        cache.put("bb" * 32, {"ip": "dsp", "x": 2})
+        cache.put("cc" * 32, {"ip": "plasma", "x": 3})
+        cache.put("dd" * 32, {"x": 4})           # untagged (legacy)
+
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    def test_stats_counts_entries_and_per_ip(self, backend, tmp_path):
+        cache = ResultCache(None if backend == "memory"
+                            else tmp_path / "c")
+        self._seed(cache)
+        stats = cache.stats()
+        assert stats["backend"] == backend
+        assert stats["entries"] == 4
+        assert stats["bytes"] > 0
+        assert stats["per_ip"]["dsp"]["entries"] == 2
+        assert stats["per_ip"]["plasma"]["entries"] == 1
+        assert stats["per_ip"]["(untagged)"]["entries"] == 1
+        assert sum(b["bytes"] for b in stats["per_ip"].values()) == \
+            stats["bytes"]
+
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    def test_prune_max_bytes_evicts_oldest_first(self, backend,
+                                                 tmp_path):
+        import os
+        import time as _time
+
+        cache = ResultCache(None if backend == "memory"
+                            else tmp_path / "c")
+        self._seed(cache)
+        # Make the write order unambiguous for both backends.
+        for offset, key in enumerate(("aa", "bb", "cc", "dd")):
+            full = key * 32
+            when = 1_000_000 + offset
+            if cache.root is None:
+                cache._times[full] = when
+            else:
+                os.utime(cache._path(full), (when, when))
+        stats = cache.stats()
+        keep = stats["bytes"] - 1    # forces out exactly the oldest
+        result = cache.prune(max_bytes=keep)
+        assert result["removed_entries"] == 1
+        assert cache.get("aa" * 32) is None      # oldest gone
+        assert cache.get("dd" * 32) == {"x": 4}  # newest kept
+        assert result["kept_bytes"] <= keep
+        del _time
+
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    def test_prune_older_than_removes_by_age(self, backend, tmp_path):
+        import os
+        import time as _time
+
+        cache = ResultCache(None if backend == "memory"
+                            else tmp_path / "c")
+        self._seed(cache)
+        ancient = _time.time() - 10_000
+        for key in ("aa", "bb"):
+            full = key * 32
+            if cache.root is None:
+                cache._times[full] = ancient
+            else:
+                os.utime(cache._path(full), (ancient, ancient))
+        result = cache.prune(older_than_s=5_000)
+        assert result["removed_entries"] == 2
+        assert result["kept_entries"] == 2
+        assert cache.get("cc" * 32) is not None
+        assert cache.get("aa" * 32) is None
+
+    def test_pruned_entry_is_a_plain_miss_and_restorable(self,
+                                                         tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("ee" * 32, {"ip": "dsp", "x": 9})
+        cache.prune(max_bytes=0)
+        assert len(cache) == 0
+        assert cache.get("ee" * 32) is None
+        cache.put("ee" * 32, {"ip": "dsp", "x": 9})
+        assert cache.get("ee" * 32) == {"ip": "dsp", "x": 9}

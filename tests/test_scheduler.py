@@ -344,6 +344,89 @@ class TestEarlyAbort:
 
 
 # ----------------------------------------------------------------------
+# Regression: raising callbacks / abandoned streams must not wedge the
+# shared pool (PR 5)
+# ----------------------------------------------------------------------
+
+class TestCallbackHardening:
+    def _baseline(self, flows, ip="dsp"):
+        flow = flows(ip, "razor")
+        stim = case_study(ip).stimulus(REDUCED_CYCLES)
+        return flow, stim, run_campaign(
+            flow.golden_factory(), flow.injected, stim,
+            ip_name=ip, sensor_type="razor", workers=1,
+        )
+
+    def test_raising_progress_callback_does_not_wedge_pool(self, flows):
+        flow, stim, baseline = self._baseline(flows)
+
+        def boom(_snapshot):
+            raise RuntimeError("user callback exploded")
+
+        with CampaignScheduler(workers=2) as scheduler:
+            with pytest.raises(RuntimeError, match="exploded"):
+                run_campaign(
+                    flow.golden_factory(), flow.injected, stim,
+                    ip_name="dsp", sensor_type="razor",
+                    scheduler=scheduler, shard_size=1, progress=boom,
+                )
+            # The abandoned campaign drained its in-flight shards, so
+            # the same pool serves the next campaign deterministically.
+            report = run_campaign(
+                flow.golden_factory(), flow.injected, stim,
+                ip_name="dsp", sensor_type="razor", scheduler=scheduler,
+            )
+            assert_reports_match(report, baseline)
+
+    def test_raising_suite_progress_does_not_wedge_pool(self, flows):
+        ips = ["plasma", "dsp"]
+        prepared_flows = {(ip, "razor"): flows(ip, "razor") for ip in ips}
+
+        def boom(_snapshot):
+            raise RuntimeError("suite callback exploded")
+
+        with CampaignScheduler(workers=2) as scheduler:
+            with pytest.raises(RuntimeError, match="exploded"):
+                run_benchmark_suite(
+                    ips, ("razor",), mutation_cycles=REDUCED_CYCLES,
+                    scheduler=scheduler, flows=prepared_flows,
+                    shard_size=1, progress=boom,
+                )
+            suite = run_benchmark_suite(
+                ips, ("razor",), mutation_cycles=REDUCED_CYCLES,
+                scheduler=scheduler, flows=prepared_flows,
+            )
+            for ip in ips:
+                flow = prepared_flows[(ip, "razor")]
+                stim = case_study(ip).stimulus(REDUCED_CYCLES)
+                baseline = run_campaign(
+                    flow.golden_factory(), flow.injected, stim,
+                    ip_name=ip, sensor_type="razor", workers=1,
+                )
+                assert_reports_match(suite.reports[(ip, "razor")],
+                                     baseline)
+
+    def test_abandoned_stream_drains_in_flight_shards(self, flows):
+        # A service client dropping its /events connection closes the
+        # consuming generator mid-stream; the drain-on-close contract
+        # means the shared pool must come back clean.
+        flow, stim, baseline = self._baseline(flows)
+        with CampaignScheduler(workers=2) as scheduler:
+            gen = iter_campaign(
+                flow.golden_factory(), flow.injected, stim,
+                ip_name="dsp", sensor_type="razor",
+                scheduler=scheduler, shard_size=1,
+            )
+            next(gen)          # at least one shard in flight
+            gen.close()        # consumer disappears
+            report = run_campaign(
+                flow.golden_factory(), flow.injected, stim,
+                ip_name="dsp", sensor_type="razor", scheduler=scheduler,
+            )
+            assert_reports_match(report, baseline)
+
+
+# ----------------------------------------------------------------------
 # Regression: timed-out runs excluded from the score denominators
 # ----------------------------------------------------------------------
 
