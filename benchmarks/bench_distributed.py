@@ -1,0 +1,333 @@
+"""Distributed-campaign benchmark: coordinator/worker fleet scaling.
+
+Boots real ``repro serve --role worker`` daemons (subprocesses, so a
+multi-worker fleet gets genuine process-level parallelism) and pushes
+one fixed batch of campaigns through a coordinator-side
+:class:`repro.service.FleetPlacement` three ways:
+
+* ``cold x1`` -- one worker daemon, empty caches everywhere: the
+  single-node remote baseline;
+* ``cold x2`` -- two worker daemons, still cache-cold: the fleet
+  partitions the shard stream least-loaded-first, and the run also
+  populates a shared content-addressed result cache from both
+  workers' verdicts;
+* ``warm x2`` -- the same campaigns again over the now-populated
+  shared cache: the coordinator's dispatch-time probe strips every
+  already-proven mutant, so shards written by *either* worker spare
+  the other one (cross-worker cache hits).
+
+Every report is checked **field-for-field equal** to a direct
+single-worker :func:`repro.mutation.run_campaign` -- the determinism
+invariant: placement, worker count and steal order never leak into
+report contents.  ``--out FILE`` writes measurements as JSON
+(``BENCH_distributed.json`` in CI).
+
+Gates: determinism and warm cross-worker cache hits are always
+enforced; the ``--min-speedup`` throughput gate (2 workers vs 1,
+default 1.6x) only applies to full runs -- ``--quick`` records the
+ratio without failing on it, because smoke machines may not have two
+free cores.
+
+Usage::
+
+    python benchmarks/bench_distributed.py [--quick] [--cycles C]
+        [--shard-size S] [--min-speedup X] [--out BENCH_distributed.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.flow import run_flow                              # noqa: E402
+from repro.ips import CASE_STUDIES, case_study               # noqa: E402
+from repro.mutation import (                                 # noqa: E402
+    prepare_campaign,
+    run_campaign,
+    stream_shard_batches,
+)
+from repro.mutation.cache import ResultCache                 # noqa: E402
+from repro.reporting import format_table                     # noqa: E402
+from repro.service import (                                  # noqa: E402
+    FleetPlacement,
+    RemoteWorkerPlacement,
+)
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "src"
+)
+
+
+class WorkerDaemon:
+    """One ``repro serve --role worker`` subprocess on an ephemeral
+    port, announced through ``--ready-file``."""
+
+    def __init__(self, workdir: str, index: int) -> None:
+        self.ready_file = os.path.join(workdir, f"worker{index}.addr")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [SRC_DIR] + [p for p in [env.get("PYTHONPATH")] if p]
+        )
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--role", "worker", "--port", "0", "--workers", "1",
+                "--no-cache",
+                "--state-dir", os.path.join(workdir, f"worker{index}"),
+                "--ready-file", self.ready_file,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+        )
+        self.host, self.port = self._await_ready()
+
+    def _await_ready(self, timeout_s: float = 60.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"worker daemon exited early "
+                    f"(rc={self.process.returncode})"
+                )
+            if os.path.exists(self.ready_file):
+                text = open(self.ready_file).read().split()
+                if len(text) == 2:
+                    return text[0], int(text[1])
+            time.sleep(0.1)
+        raise RuntimeError("worker daemon never wrote its ready file")
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+
+def build_specs(quick: bool):
+    if quick:
+        return [("dsp", "razor"), ("plasma", "counter")]
+    return [
+        (ip, sensor)
+        for ip in sorted(CASE_STUDIES)
+        for sensor in ("razor", "counter")
+    ]
+
+
+def build_flows(specs):
+    flows = {}
+    for ip, sensor in specs:
+        if (ip, sensor) not in flows:
+            flows[(ip, sensor)] = run_flow(
+                case_study(ip), sensor, run_mutation=False
+            )
+    return flows
+
+
+def build_baselines(flows, cycles):
+    return {
+        (ip, sensor): run_campaign(
+            flow.tlm_optimized, flow.injected,
+            case_study(ip).stimulus(cycles),
+            ip_name=ip, sensor_type=sensor, workers=1,
+        )
+        for (ip, sensor), flow in flows.items()
+    }
+
+
+def run_fleet(daemons, specs, flows, cycles, *, shard_size,
+              fleet_cache=None, write_back=None):
+    """Stream every campaign over a fresh fleet of the given worker
+    daemons.  Returns ``(seconds, reports, fleet_stats, members)``.
+
+    ``fleet_cache`` is consulted before each dispatch (the shared-cache
+    strip); ``write_back`` receives freshly-executed outcomes as shards
+    complete (pass the same cache to populate it for a warm run).
+    """
+    fleet = FleetPlacement(
+        [RemoteWorkerPlacement(d.host, d.port) for d in daemons],
+        local=None, cache=fleet_cache,
+    )
+    try:
+        reports = {}
+        started = time.perf_counter()
+        for ip, sensor in specs:
+            flow = flows[(ip, sensor)]
+            # Prepared against the write-back cache only: that is what
+            # assigns the content-addressed entry keys the write-back
+            # needs.  The warm run deliberately prepares cache-less so
+            # all replay happens at *dispatch* (the cross-worker strip
+            # this benchmark measures), not at prepare time.
+            prepared = prepare_campaign(
+                flow.tlm_optimized, flow.injected,
+                case_study(ip).stimulus(cycles),
+                ip_name=ip, sensor_type=sensor,
+                workers=fleet.workers, shard_size=shard_size,
+                cache=write_back,
+            )
+            outcomes = []
+            for batch, _snapshot in stream_shard_batches(
+                fleet, prepared, cache=write_back
+            ):
+                outcomes.extend(batch)
+            reports[(ip, sensor)] = prepared.build_report(outcomes)
+        seconds = time.perf_counter() - started
+        stats = fleet.stats()
+        members = fleet.describe()
+    finally:
+        fleet.shutdown()
+    return seconds, reports, stats, members
+
+
+def check_determinism(reports, baselines) -> bool:
+    return all(
+        reports[key] == baselines[key] for key in baselines
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 2 campaigns, short testbenches, "
+                             "speedup recorded but not enforced")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="testbench cycles per campaign (default: "
+                             "24 quick / 48 full)")
+    parser.add_argument("--shard-size", type=int, default=4,
+                        help="mutants per wire shard (small shards -> "
+                             "more steal opportunities)")
+    parser.add_argument("--min-speedup", type=float, default=1.6,
+                        help="cold 2-worker vs 1-worker throughput "
+                             "gate (full runs only)")
+    parser.add_argument("--out", default=None,
+                        help="write measurements to this JSON file "
+                             "(e.g. BENCH_distributed.json)")
+    args = parser.parse_args(argv)
+
+    cycles = args.cycles or (24 if args.quick else 48)
+    specs = build_specs(args.quick)
+    print(f"building {len(specs)} campaign flows ...", flush=True)
+    flows = build_flows(specs)
+    baselines = build_baselines(flows, cycles)
+    total_mutants = sum(
+        len(flows[key].injected.mutants) for key in specs
+    )
+
+    workdir = tempfile.mkdtemp(prefix="bench-distributed-")
+    daemons = []
+    try:
+        print("booting 2 worker daemons ...", flush=True)
+        daemons = [WorkerDaemon(workdir, i) for i in range(2)]
+        shared = ResultCache(None)  # in-memory shared result cache
+
+        cold1_s, cold1_reports, _stats1, _m1 = run_fleet(
+            daemons[:1], specs, flows, cycles,
+            shard_size=args.shard_size,
+        )
+        cold2_s, cold2_reports, stats2, members2 = run_fleet(
+            daemons, specs, flows, cycles,
+            shard_size=args.shard_size,
+            fleet_cache=shared, write_back=shared,
+        )
+        warm_s, warm_reports, warm_stats, _m3 = run_fleet(
+            daemons, specs, flows, cycles,
+            shard_size=args.shard_size,
+            fleet_cache=shared,
+        )
+    finally:
+        for daemon in daemons:
+            daemon.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    deterministic = (
+        check_determinism(cold1_reports, baselines)
+        and check_determinism(cold2_reports, baselines)
+        and check_determinism(warm_reports, baselines)
+    )
+    speedup = cold1_s / cold2_s
+    shards_per_worker = [m["shards_done"] for m in members2]
+    partitioned = all(done > 0 for done in shards_per_worker)
+    warm_hits = warm_stats["cache_strip_hits"]
+
+    rows = [[
+        len(specs), total_mutants,
+        f"{cold1_s:.2f}", f"{cold2_s:.2f}", f"{speedup:.2f}x",
+        f"{warm_s:.2f}", warm_hits,
+        "/".join(str(d) for d in shards_per_worker),
+        "yes" if deterministic else "NO",
+    ]]
+    print(format_table(
+        ["campaigns", "mutants", "cold x1 (s)", "cold x2 (s)",
+         "speedup", "warm x2 (s)", "warm cache hits",
+         "shards w0/w1", "deterministic"],
+        rows,
+        title=(
+            "Coordinator/worker fleet over the service wire: "
+            "1 vs 2 worker daemons, cold and shared-cache warm"
+        ),
+    ))
+
+    if args.out:
+        payload = {
+            "quick": args.quick,
+            "campaigns": len(specs),
+            "mutants": total_mutants,
+            "cycles": cycles,
+            "shard_size": args.shard_size,
+            "cold_1worker_s": cold1_s,
+            "cold_2worker_s": cold2_s,
+            "speedup": speedup,
+            "min_speedup": args.min_speedup,
+            "speedup_enforced": not args.quick,
+            "warm_2worker_s": warm_s,
+            "warm_cache_strip_hits": warm_hits,
+            "cold_redispatches": stats2["redispatches"],
+            "shards_per_worker": shards_per_worker,
+            "partitioned": partitioned,
+            "deterministic": deterministic,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+
+    failures = []
+    if not deterministic:
+        failures.append(
+            "a fleet report diverged from the direct single-worker "
+            "run_campaign baseline"
+        )
+    if not partitioned:
+        failures.append(
+            f"the cold 2-worker run did not use both workers "
+            f"(shards per worker: {shards_per_worker})"
+        )
+    if warm_hits <= 0:
+        failures.append(
+            "the warm run produced no cross-worker cache hits"
+        )
+    if not args.quick and speedup < args.min_speedup:
+        failures.append(
+            f"cold speedup {speedup:.2f}x below the "
+            f"{args.min_speedup:.1f}x gate"
+        )
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,19 +41,30 @@ Commands
 Campaign service (see :mod:`repro.service` and ``docs/service.md``)
 -------------------------------------------------------------------
 ``serve [--host H] [--port P] [--workers N] [--max-jobs M]
-[--state-dir DIR] [--ready-file FILE] [--cache-dir DIR] [--no-cache]``
+[--state-dir DIR] [--ready-file FILE] [--cache-dir DIR] [--no-cache]
+[--role standalone|coordinator|worker] [--worker HOST:PORT]
+[--coordinator HOST:PORT] [--cache-url HOST:PORT]``
     Run the long-lived campaign service: jobs submitted over HTTP
     queue onto one shared scheduler pool, every client streams
     per-shard progress (NDJSON).  ``--state-dir`` persists job records
     so finished reports survive restarts; ``--ready-file`` writes
-    ``host port`` once listening (CI boots on ``--port 0``).
+    ``host port`` once listening (CI boots on ``--port 0``).  The
+    fleet flags (``docs/distributed.md``): ``--role`` names the
+    daemon's purpose, ``--worker`` (repeatable) registers worker
+    daemons with a booting coordinator, ``--coordinator`` makes a
+    booting worker register *itself* with a coordinator, and
+    ``--cache-url`` replaces the local result cache with a remote one
+    served by another daemon's ``/cache`` routes.
 ``submit <ip> <sensor> [--cycles C] [--shard-size M] [--no-recovery]
 [--stop-on-survivor] [--score-threshold X] [--watch] [--host] [--port]``
     Submit one campaign job; prints the job id (``--watch`` then
     streams it to completion like ``repro watch``).
-``status [job_id] [--host] [--port]``
+``status [job_id] [--server] [--host] [--port]``
     One job's record and report summary, or -- without an id -- a
-    table of every job the service knows.
+    table of every job the service knows.  ``--server`` renders the
+    daemon's ``/healthz`` instead: role, pool, job counts, and the
+    per-placement fleet detail (identity, liveness, in-flight shards,
+    queue depth).
 ``watch <job_id> [--host] [--port]``
     Stream a job's events live: per-shard progress lines, then the
     final campaign summary.  Exit code mirrors ``repro mutate``.
@@ -353,29 +364,108 @@ def _cmd_emit(args) -> int:
 # Campaign service commands
 # ---------------------------------------------------------------------------
 
+def _parse_hostport(value: str) -> "tuple[str, int]":
+    """``HOST:PORT`` -> ``(host, port)`` (used by the fleet flags)."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    return host, int(port)
+
+
+def _retrying(action, what: str, *, attempts: int = 40,
+              delay: float = 0.25):
+    """Run a fleet-registration ``action`` with retries -- daemons
+    boot concurrently, so the peer may simply not be listening yet.
+    Returns the action's result, or ``None`` after logging a warning
+    (a coordinator without this worker still serves; the fleet just
+    stays smaller)."""
+    import time as _time
+
+    last = None
+    for attempt in range(attempts):
+        try:
+            return action()
+        except Exception as exc:
+            last = exc
+            if attempt < attempts - 1:
+                _time.sleep(delay)
+    print(f"warning: {what} failed after {attempts} attempts: {last}",
+          file=sys.stderr, flush=True)
+    return None
+
+
 def _cmd_serve(args) -> int:
     import time as _time
 
-    from repro.service import CampaignService, ServiceServer
+    from repro.service import (
+        CampaignService,
+        RemoteResultCache,
+        ServiceClient,
+        ServiceServer,
+    )
 
+    try:
+        cache_address = (
+            _parse_hostport(args.cache_url) if args.cache_url else None
+        )
+        worker_addresses = [
+            _parse_hostport(a) for a in (args.worker or [])
+        ]
+        coordinator_address = (
+            _parse_hostport(args.coordinator)
+            if args.coordinator else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = _resolve_cache(args)
+    if cache_address is not None:
+        cache = RemoteResultCache(*cache_address)
     service = CampaignService(
         workers=args.workers,
         max_jobs=args.max_jobs,
         state_dir=args.state_dir,
-        cache=_resolve_cache(args),
+        cache=cache,
+        role=args.role,
     )
     server = ServiceServer(service, host=args.host, port=args.port)
     host, port = server.start()
     print(f"repro service listening on http://{host}:{port} "
-          f"(workers={args.workers}, max jobs={args.max_jobs})",
+          f"(role={args.role}, workers={args.workers}, "
+          f"max jobs={args.max_jobs})",
           flush=True)
     if args.state_dir:
         print(f"  job records : {args.state_dir}", flush=True)
-    if getattr(args, "cache_dir", None) and not args.no_cache:
+    if args.cache_url:
+        print(f"  result cache: remote {args.cache_url}", flush=True)
+    elif getattr(args, "cache_dir", None) and not args.no_cache:
         print(f"  result cache: {args.cache_dir}", flush=True)
     if args.ready_file:
         with open(args.ready_file, "w") as handle:
             handle.write(f"{host} {port}\n")
+    # Fleet wiring, after the socket is up: pull workers into this
+    # daemon's fleet, and/or push this daemon into a coordinator's.
+    for worker_host, worker_port in worker_addresses:
+        detail = _retrying(
+            lambda h=worker_host, p=worker_port:
+                service.register_worker(h, p),
+            f"registering worker {worker_host}:{worker_port}",
+        )
+        if detail is not None:
+            print(f"  worker      : {detail['identity']} "
+                  f"({detail['workers']} slots)", flush=True)
+    if coordinator_address is not None:
+        # A wildcard bind is not a reachable address; advertise
+        # loopback instead (same-host fleets -- the tested topology).
+        advertise = "127.0.0.1" if host in ("0.0.0.0", "::") else host
+        coordinator = ServiceClient(*coordinator_address)
+        if _retrying(
+            lambda: coordinator.register_worker(advertise, port),
+            f"registering with coordinator {args.coordinator}",
+        ) is not None:
+            print(f"  coordinator : {args.coordinator}", flush=True)
     try:
         while True:
             _time.sleep(1)
@@ -481,8 +571,60 @@ def _job_row(record) -> list:
     ]
 
 
+def _print_server_status(health: dict) -> int:
+    """Render ``GET /healthz`` -- the daemon-level view behind
+    ``repro status --server``: role, pool and job counts, then one row
+    per placement (the local pool and every registered worker)."""
+    pool = health.get("pool") or {}
+    jobs = health.get("jobs") or {}
+    fleet = health.get("fleet") or {}
+    pairs = [
+        ("status", health.get("status")),
+        ("role", health.get("role", "standalone")),
+        ("uptime", f"{health.get('uptime_s', 0.0):.1f} s"),
+        ("local pool workers", pool.get("workers")),
+        ("pool live", pool.get("live")),
+        ("max concurrent jobs", pool.get("max_jobs")),
+        ("fleet workers", fleet.get("workers")),
+        ("re-dispatched shards", fleet.get("redispatches")),
+        ("dispatch cache strips", fleet.get("cache_strip_hits")),
+        ("jobs", ", ".join(
+            f"{status}={count}" for status, count in sorted(jobs.items())
+        ) or "none"),
+    ]
+    cache = health.get("cache")
+    if cache is not None:
+        pairs.append(("cache entries", cache.get("entries")))
+    print(format_kv(pairs))
+    placements = health.get("placements") or []
+    if placements:
+        rows = [
+            [
+                p.get("kind"),
+                p.get("identity"),
+                p.get("workers"),
+                "yes" if p.get("alive") else "no",
+                p.get("in_flight"),
+                p.get("queued"),
+                p.get("shards_done"),
+                p.get("failures", 0),
+            ]
+            for p in placements
+        ]
+        print()
+        print(format_table(
+            ["kind", "identity", "workers", "alive", "in-flight",
+             "queued", "shards done", "failures"],
+            rows,
+            title="Shard placements",
+        ))
+    return 0 if health.get("status") == "ok" else 1
+
+
 def _cmd_status(args) -> int:
     client = _service_client(args)
+    if args.server:
+        return _print_server_status(client.health())
     if not args.job_id:
         rows = [_job_row(record) for record in client.jobs()]
         print(format_table(
@@ -690,6 +832,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ready-file", default=None, metavar="FILE",
                          help="write 'host port' here once listening "
                               "(for scripts booting on --port 0)")
+    p_serve.add_argument("--role",
+                         choices=["standalone", "coordinator", "worker"],
+                         default="standalone",
+                         help="fleet role of this daemon (default: "
+                              "standalone; see docs/distributed.md)")
+    p_serve.add_argument("--worker", action="append", default=None,
+                         metavar="HOST:PORT",
+                         help="register this worker daemon with the "
+                              "booting coordinator (repeatable; retried "
+                              "while the worker boots)")
+    p_serve.add_argument("--coordinator", default=None,
+                         metavar="HOST:PORT",
+                         help="register this booting daemon as a worker "
+                              "with that coordinator (retried while the "
+                              "coordinator boots)")
+    p_serve.add_argument("--cache-url", default=None, metavar="HOST:PORT",
+                         help="use the result cache served by another "
+                              "daemon's /cache routes instead of a "
+                              "local --cache-dir (shared fleet cache)")
     _add_cache_options(p_serve)
 
     p_submit = sub.add_parser(
@@ -718,6 +879,10 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="one job's record, or a table of all jobs"
     )
     p_status.add_argument("job_id", nargs="?", default=None)
+    p_status.add_argument("--server", action="store_true",
+                          help="show the daemon's /healthz (role, pool, "
+                               "per-placement fleet detail) instead of "
+                               "job records")
     _add_service_options(p_status)
 
     p_watch = sub.add_parser(

@@ -46,7 +46,7 @@ from .analysis import (
     compute_golden_trace,
     run_mutation_analysis,
 )
-from .cache import ResultCache
+from .cache import ResultCache, shard_entry_keys
 from .campaign import (
     CampaignShard,
     PreparedCampaign,
@@ -54,6 +54,11 @@ from .campaign import (
     resolve_tap_order,
     run_campaign,
     shard_indices,
+)
+from .placement import (
+    LocalPoolPlacement,
+    PlacementLostError,
+    ShardPlacement,
 )
 from .rtl_validation import (
     PreparedRtlValidation,
@@ -99,6 +104,10 @@ __all__ = [
     "run_benchmark_suite",
     "stream_shard_batches",
     "ResultCache",
+    "shard_entry_keys",
+    "ShardPlacement",
+    "LocalPoolPlacement",
+    "PlacementLostError",
     "PreparedRtlValidation",
     "RtlMutantOutcome",
     "RtlValidationReport",

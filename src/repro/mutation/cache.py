@@ -89,6 +89,7 @@ __all__ = [
     "mutant_entry_key",
     "rtl_entry_key",
     "rtl_fingerprint",
+    "shard_entry_keys",
     "stimuli_hash",
 ]
 
@@ -258,6 +259,36 @@ def rtl_entry_key(
         int(recovery_value),
         _spec_key(spec),
     ))
+
+
+def shard_entry_keys(shard) -> "dict[int, str]":
+    """Per-mutant entry keys recomputed from a shard's own contents:
+    ``{mutant index -> key}`` for every index the shard covers.
+
+    A :class:`~repro.mutation.campaign.CampaignShard` carries every
+    key component (injected model, stimuli, golden trace, sensor type,
+    judgement parameters), so any holder of the shard -- the
+    coordinator about to dispatch it, a remote worker about to execute
+    it -- derives exactly the keys
+    :func:`~repro.mutation.campaign.prepare_campaign` derived, and a
+    shared cache deduplicates across the whole fleet.
+    """
+    model_fp = model_fingerprint(shard.injected)
+    stim_hash = stimuli_hash(shard.stimuli)
+    golden_hash = golden_trace_hash(shard.golden)
+    specs = shard.injected.mutants
+    return {
+        index: mutant_entry_key(
+            model_fp,
+            stim_hash,
+            golden_hash,
+            shard.sensor_type,
+            specs[index],
+            recovery=shard.recovery,
+            tap_order=shard.tap_order,
+        )
+        for index in shard.indices
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -558,16 +589,35 @@ class ResultCache:
             "misses": self.misses,
         }
 
-    def _remove(self, key: str, path: "str | None") -> None:
+    def _remove(self, key: str, path: "str | None",
+                *, newer_than: "float | None" = None) -> bool:
+        """Delete one entry; returns whether anything was deleted.
+
+        ``newer_than`` is the prune scan-start guard: an entry whose
+        write time is at or after it is left alone (it was written --
+        or re-written by a concurrent campaign -- after the scan
+        decided its fate, so the scan's age/size data for it is
+        stale).  An entry that vanished since the scan (pruned by a
+        concurrent process) reports ``False`` instead of raising.
+        """
         if path is None:
             with self._lock:
+                if key not in self._mem:
+                    return False  # vanished mid-scan
+                if newer_than is not None and \
+                        self._times.get(key, 0.0) >= newer_than:
+                    return False  # re-written after the scan started
                 self._mem.pop(key, None)
                 self._times.pop(key, None)
-            return
+            return True
         try:
+            if newer_than is not None and \
+                    os.stat(path).st_mtime >= newer_than:
+                return False  # re-written after the scan started
             os.unlink(path)
         except OSError:
-            pass
+            return False  # vanished mid-scan
+        return True
 
     def prune(
         self,
@@ -583,32 +633,40 @@ class ResultCache:
         immutable and re-creatable, so oldest-first is safe -- a
         pruned verdict simply re-executes on its next campaign).
         Returns removed/kept entry and byte counts.
+
+        Pruning is safe against concurrent writers and other pruners:
+        entries that vanish between the scan and the delete are
+        skipped (not errors), and no entry written at or after the
+        scan start is ever deleted -- each candidate's write time is
+        re-checked immediately before removal, so a verdict a live
+        campaign just stored cannot be swept out from under it by a
+        prune that scanned stale metadata.
         """
+        scan_start = time.time()
         cutoff = (
-            time.time() - older_than_s if older_than_s is not None else None
+            scan_start - older_than_s if older_than_s is not None else None
         )
         removed_entries = removed_bytes = 0
         survivors = []
         for key, path, size, mtime in self._entries():
-            if cutoff is not None and mtime < cutoff:
-                self._remove(key, path)
+            if cutoff is not None and mtime < cutoff and \
+                    self._remove(key, path, newer_than=scan_start):
                 removed_entries += 1
                 removed_bytes += size
             else:
                 survivors.append((key, path, size))
         if max_bytes is not None:
             kept_bytes = sum(size for _, _, size in survivors)
-            doomed = []
-            for entry in survivors:       # oldest first
-                if kept_bytes <= max_bytes:
-                    break
-                doomed.append(entry)
-                kept_bytes -= entry[2]
-            for key, path, size in doomed:
-                self._remove(key, path)
-                removed_entries += 1
-                removed_bytes += size
-            survivors = survivors[len(doomed):]
+            remaining = []
+            for key, path, size in survivors:   # oldest first
+                if kept_bytes > max_bytes and \
+                        self._remove(key, path, newer_than=scan_start):
+                    removed_entries += 1
+                    removed_bytes += size
+                    kept_bytes -= size
+                else:
+                    remaining.append((key, path, size))
+            survivors = remaining
         return {
             "removed_entries": removed_entries,
             "removed_bytes": removed_bytes,

@@ -1,0 +1,238 @@
+"""Shard placement: *where* a shard runs, as a policy object.
+
+Historically :class:`~repro.mutation.scheduler.CampaignScheduler`
+welded two concerns together: the streaming submit/drain protocol the
+campaign engine speaks, and the ownership of one local
+:class:`~concurrent.futures.ProcessPoolExecutor`.  This module splits
+them: a :class:`ShardPlacement` is anything that accepts shards and
+resolves futures of their outcome lists, and the campaign engine
+(:func:`~repro.mutation.scheduler._stream_shard_results`,
+:func:`~repro.mutation.scheduler.stream_shard_batches`,
+:func:`~repro.mutation.scheduler.run_benchmark_suite`) is written
+against that interface alone.
+
+Implementations:
+
+* :class:`LocalPoolPlacement` (here) -- today's behaviour,
+  bit-identical: a lazily-created local process pool, with
+  ``workers=1`` degrading to inline execution and ``inline_only``
+  shards always executing in the parent.
+  :class:`~repro.mutation.scheduler.CampaignScheduler` is now a thin
+  alias of this class, so every existing call site keeps working.
+* :class:`repro.service.fleet.RemoteWorkerPlacement` -- shards
+  serialised over the service wire format to a
+  ``repro serve --role worker`` daemon.
+* :class:`repro.service.fleet.FleetPlacement` -- a coordinator-side
+  composite distributing shards across many placements (least-loaded
+  dispatch = work-stealing for ragged campaigns), re-dispatching on
+  placement loss and short-circuiting shards whose verdicts a shared
+  cache already holds.
+
+The determinism contract is placement-independent by construction:
+outcomes are merged by mutant index
+(:meth:`~repro.mutation.campaign.PreparedCampaign.build_report`), so
+reports are byte-identical regardless of placement kind, worker count
+or steal order.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from .campaign import _run_shard
+
+__all__ = [
+    "LocalPoolPlacement",
+    "PlacementLostError",
+    "ShardPlacement",
+]
+
+
+class PlacementLostError(RuntimeError):
+    """A placement became unreachable while (or before) executing a
+    shard -- a worker daemon crashed, its socket reset, its process
+    pool broke.  The shard itself is *not* at fault: a fleet reacts by
+    re-dispatching it to a surviving placement, whereas any other
+    exception (a genuine shard failure) propagates unchanged."""
+
+
+class ShardPlacement:
+    """Where shards run: the interface the campaign engine streams
+    against.
+
+    A placement accepts shard objects (anything with a ``run()``
+    method; see :class:`~repro.mutation.campaign.CampaignShard`) and
+    returns :class:`~concurrent.futures.Future`\\ s of their outcome
+    lists.  The contract the streaming drain loop relies on:
+
+    * ``workers`` -- the current submission window: how many shards
+      may usefully be in flight at once.  Re-read every iteration, so
+      a fleet that grows or shrinks mid-campaign widens or narrows the
+      window live.
+    * ``submit(shard)`` -- returns a future of ``shard.run()``'s
+      outcome list.  May resolve eagerly (inline execution).  Raises
+      :class:`PlacementLostError` (or resolves the future with it)
+      when the placement cannot run shards any more.
+    * ``shutdown(wait=True)`` -- release resources; further
+      submissions raise.
+    * ``describe()`` -- a JSON-able health snapshot (identity,
+      liveness, queue depth, in-flight shards) surfaced by the
+      service's ``/healthz``.
+    """
+
+    #: Discriminator in :meth:`describe` payloads.
+    kind = "placement"
+
+    workers: int = 1
+
+    @property
+    def alive(self) -> bool:
+        """Whether the placement can currently accept shards."""
+        return True
+
+    def submit(self, shard) -> Future:
+        raise NotImplementedError
+
+    def shutdown(self, wait: bool = True) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "alive": self.alive,
+        }
+
+    def __enter__(self) -> "ShardPlacement":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class LocalPoolPlacement(ShardPlacement):
+    """One persistent local worker pool serving shards from many
+    campaigns.
+
+    The pool is created lazily on first submission and lives until
+    :meth:`shutdown` (or context-manager exit), so a whole regression
+    -- every IP x sensor type, TLM campaigns and RTL validations,
+    plus ad-hoc :func:`~repro.mutation.scheduler.iter_campaign`
+    streams -- reuses warm worker processes instead of forking a fresh
+    pool per campaign.  ``workers=1`` never creates processes: shards
+    run inline at submission time, which keeps the single-worker path
+    deterministic and dependency-free.
+
+    The placement is shard-kind agnostic: anything with a ``run()``
+    method and (for pool execution) a picklable payload is accepted --
+    :class:`~repro.mutation.campaign.CampaignShard` and
+    :class:`~repro.mutation.rtl_validation.RtlValidationShard` today.
+    Shards flagged ``inline_only`` (an RTL shard carrying a live
+    :class:`~repro.sensors.insertion.AugmentedIP` or an opaque drive
+    callable, neither of which pickles) execute in the parent process
+    even when a pool exists.
+
+    The placement is **thread-safe**: many threads (the campaign
+    service runs one per in-flight job) may submit shards to one
+    placement concurrently.  Pool creation and shutdown are
+    lock-guarded; ``ProcessPoolExecutor.submit`` is thread-safe by
+    contract; inline execution happens on the submitting thread.
+    """
+
+    kind = "local"
+
+    def __init__(self, workers: int = 1, *, mp_context=None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        #: Optional :mod:`multiprocessing` context for the pool.  The
+        #: default (``None``) keeps the platform default (``fork`` on
+        #: Linux -- cheapest for one-shot batch runs from a
+        #: single-threaded parent).  A *threaded* parent -- the
+        #: campaign service, whose job threads trigger the lazy pool
+        #: creation -- must pass a fork+exec context (``forkserver``
+        #: or ``spawn``): forking a multi-threaded process can
+        #: deadlock the children on locks snapshotted mid-hold.
+        self.mp_context = mp_context
+        self.identity = f"local/{os.getpid()}"
+        self._pool: "ProcessPoolExecutor | None" = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._shards_done = 0
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+    def pool(self) -> ProcessPoolExecutor:
+        """The lazily-created shared executor (``workers > 1`` only)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler has been shut down")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self.mp_context
+                )
+            return self._pool
+
+    def _track(self, future: Future) -> Future:
+        with self._lock:
+            self._in_flight += 1
+
+        def _done(_future: Future) -> None:
+            with self._lock:
+                self._in_flight -= 1
+                self._shards_done += 1
+
+        future.add_done_callback(_done)
+        return future
+
+    def submit(self, shard) -> Future:
+        """Submit one shard; returns a future of its outcome list.
+        Inline mode (``workers=1``), and any shard flagged
+        ``inline_only``, executes eagerly in the parent and returns an
+        already-resolved future."""
+        if self._closed:
+            raise RuntimeError("scheduler has been shut down")
+        if self.workers <= 1 or getattr(shard, "inline_only", False):
+            future: Future = Future()
+            try:
+                future.set_result(_run_shard(shard))
+            except BaseException as exc:  # pragma: no cover - propagated
+                future.set_exception(exc)
+            with self._lock:
+                self._shards_done += 1
+            return future
+        return self._track(self.pool().submit(_run_shard, shard))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Close the placement and tear down the pool (if one was ever
+        created).  Further submissions raise; ``wait=False`` returns
+        without joining the worker processes."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def describe(self) -> dict:
+        with self._lock:
+            in_flight = self._in_flight
+            shards_done = self._shards_done
+            live = self._pool is not None
+        return {
+            "kind": self.kind,
+            "identity": self.identity,
+            "workers": self.workers,
+            "alive": self.alive,
+            "pool_live": live,
+            "in_flight": in_flight,
+            "queued": max(0, in_flight - self.workers),
+            "shards_done": shards_done,
+        }
+
+    def __enter__(self) -> "LocalPoolPlacement":
+        return self

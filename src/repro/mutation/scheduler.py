@@ -47,19 +47,14 @@ excluded from every aggregate percentage (``effective_total``).
 
 from __future__ import annotations
 
-import threading
 import time
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    Future,
-    ProcessPoolExecutor,
-    wait,
-)
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from .campaign import PreparedCampaign, _run_shard, prepare_campaign
+from .campaign import PreparedCampaign, prepare_campaign
+from .placement import LocalPoolPlacement, ShardPlacement
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
     from .analysis import MutationReport
@@ -196,93 +191,24 @@ class _CampaignTracker:
         )
 
 
-class CampaignScheduler:
-    """One persistent worker pool serving shards from many campaigns.
+class CampaignScheduler(LocalPoolPlacement):
+    """One persistent local worker pool serving shards from many
+    campaigns -- the historical name of
+    :class:`~repro.mutation.placement.LocalPoolPlacement`, kept as the
+    batch-flow entry point.
 
-    The pool is created lazily on first submission and lives until
-    :meth:`shutdown` (or context-manager exit), so a whole regression
-    -- every IP x sensor type, TLM campaigns and RTL validations,
-    plus ad-hoc :func:`iter_campaign` streams -- reuses warm worker
-    processes instead of forking a fresh pool per campaign.
-    ``workers=1`` never creates processes: shards run inline at
-    submission time, which keeps the single-worker path deterministic
-    and dependency-free.
-
-    The scheduler is shard-kind agnostic: anything with a ``run()``
-    method and (for pool execution) a picklable payload is accepted --
-    :class:`~repro.mutation.campaign.CampaignShard` and
-    :class:`~repro.mutation.rtl_validation.RtlValidationShard` today.
-    Shards flagged ``inline_only`` (an RTL shard carrying a live
-    :class:`~repro.sensors.insertion.AugmentedIP` or an opaque drive
-    callable, neither of which pickles) execute in the parent process
-    even when a pool exists.
-
-    The scheduler is **thread-safe**: many threads (the campaign
-    service runs one per in-flight job) may submit shards to one
-    scheduler concurrently.  Pool creation and shutdown are
-    lock-guarded; ``ProcessPoolExecutor.submit`` is thread-safe by
-    contract; inline execution happens on the submitting thread.
+    "Where a shard runs" is now a policy
+    (:class:`~repro.mutation.placement.ShardPlacement`): every
+    streaming entry point in this module accepts any placement -- this
+    local pool, a :class:`~repro.service.fleet.RemoteWorkerPlacement`
+    speaking to a ``repro serve --role worker`` daemon, or a whole
+    :class:`~repro.service.fleet.FleetPlacement` -- and produces
+    byte-identical reports on all of them (outcomes merge by mutant
+    index, never by completion or steal order).
     """
-
-    def __init__(self, workers: int = 1, *, mp_context=None) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        self.workers = workers
-        #: Optional :mod:`multiprocessing` context for the pool.  The
-        #: default (``None``) keeps the platform default (``fork`` on
-        #: Linux -- cheapest for one-shot batch runs from a
-        #: single-threaded parent).  A *threaded* parent -- the
-        #: campaign service, whose job threads trigger the lazy pool
-        #: creation -- must pass a fork+exec context (``forkserver``
-        #: or ``spawn``): forking a multi-threaded process can
-        #: deadlock the children on locks snapshotted mid-hold.
-        self.mp_context = mp_context
-        self._pool: "ProcessPoolExecutor | None" = None
-        self._closed = False
-        self._lock = threading.Lock()
-
-    def pool(self) -> ProcessPoolExecutor:
-        """The lazily-created shared executor (``workers > 1`` only)."""
-        with self._lock:
-            if self._closed:
-                raise RuntimeError("scheduler has been shut down")
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers, mp_context=self.mp_context
-                )
-            return self._pool
-
-    def submit(self, shard) -> Future:
-        """Submit one shard; returns a future of its outcome list.
-        Inline mode (``workers=1``), and any shard flagged
-        ``inline_only``, executes eagerly in the parent and returns an
-        already-resolved future."""
-        if self._closed:
-            raise RuntimeError("scheduler has been shut down")
-        if self.workers <= 1 or getattr(shard, "inline_only", False):
-            future: Future = Future()
-            try:
-                future.set_result(_run_shard(shard))
-            except BaseException as exc:  # pragma: no cover - propagated
-                future.set_exception(exc)
-            return future
-        return self.pool().submit(_run_shard, shard)
-
-    def shutdown(self, wait: bool = True) -> None:
-        """Close the scheduler and tear down the pool (if one was ever
-        created).  Further submissions raise; ``wait=False`` returns
-        without joining the worker processes."""
-        with self._lock:
-            self._closed = True
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=wait)
 
     def __enter__(self) -> "CampaignScheduler":
         return self
-
-    def __exit__(self, *exc) -> None:
-        self.shutdown()
 
 
 def _ephemeral_width(workers: int, prepared: PreparedCampaign) -> int:
@@ -294,7 +220,7 @@ def _ephemeral_width(workers: int, prepared: PreparedCampaign) -> int:
 
 
 @contextmanager
-def _leased_scheduler(scheduler: "CampaignScheduler | None", width: int):
+def _leased_scheduler(scheduler: "ShardPlacement | None", width: int):
     """Yield ``scheduler`` untouched when one was passed (the caller
     owns its lifetime), or an ephemeral :class:`CampaignScheduler` of
     ``width`` workers that is shut down on exit.  The single
@@ -309,7 +235,7 @@ def _leased_scheduler(scheduler: "CampaignScheduler | None", width: int):
         ephemeral.shutdown()
 
 
-def _stream_shard_results(scheduler: "CampaignScheduler", shards, *,
+def _stream_shard_results(scheduler: "ShardPlacement", shards, *,
                           stop=None):
     """Windowed shard submission: yield each completed shard's outcome
     list in completion order, keeping at most one submitted shard per
@@ -365,7 +291,7 @@ def _write_back(cache, cache_keys, outcomes, encode, ip=None) -> None:
 
 
 def stream_shard_batches(
-    scheduler: "CampaignScheduler",
+    scheduler: "ShardPlacement",
     prepared: PreparedCampaign,
     *,
     progress=None,
@@ -413,7 +339,7 @@ def stream_shard_batches(
 
 
 def stream_prepared(
-    scheduler: "CampaignScheduler",
+    scheduler: "ShardPlacement",
     prepared: PreparedCampaign,
     *,
     progress=None,
@@ -449,7 +375,7 @@ def iter_campaign(
     tap_order: "list[str] | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
-    scheduler: "CampaignScheduler | None" = None,
+    scheduler: "ShardPlacement | None" = None,
     progress=None,
     abort: "AbortPolicy | None" = None,
     cache=None,
@@ -645,7 +571,7 @@ def run_benchmark_suite(
     workers: int = 4,
     shard_size: "int | None" = None,
     mutation_cycles: "int | None" = None,
-    scheduler: "CampaignScheduler | None" = None,
+    scheduler: "ShardPlacement | None" = None,
     progress=None,
     flows: "dict | None" = None,
     cache=None,

@@ -8,16 +8,37 @@ payload, poll records, stream NDJSON events, cancel -- over plain
 CLI subcommands are thin wrappers over it, and the service tests use
 it to assert the streamed reports against direct
 :func:`~repro.mutation.run_campaign` runs.
+
+Transient-failure policy (the distributed fleet makes resets an
+expected event, not an anomaly): **idempotent GETs** -- ``job``,
+``jobs``, ``health``, and the ``/events`` stream -- retry on
+connection errors with capped exponential backoff, and a broken event
+stream *reconnects*: the server replays the job's event history on
+every ``GET /jobs/<id>/events``, so the client skips the events it
+already yielded (counting non-terminal events; the terminal ``end`` is
+always yielded).  When the job finished between connections and the
+server already collapsed its history to the ``end`` event alone, the
+shard outcomes the replay can no longer provide are backfilled from
+the job record as one synthetic ``"recovered"`` shard event -- every
+mutant outcome is delivered exactly once either way.  Non-idempotent
+calls (``submit``, ``cancel``) never retry -- a duplicate POST would
+enqueue a duplicate campaign.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 
 from .api import decode_report
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: Transport-level failures worth retrying (connection refused/reset,
+#: truncated responses).  :class:`ServiceError` -- an *answer* from the
+#: server -- is never retried.
+_RETRYABLE = (OSError, http.client.HTTPException)
 
 
 class ServiceError(RuntimeError):
@@ -39,15 +60,24 @@ class ServiceClient:
             ``stream_timeout`` instead, which defaults to unlimited --
             a campaign may legitimately stay silent while a long shard
             executes.
+        retries: connection-error retries for idempotent GETs and
+            event-stream reconnects (0 disables).
+        backoff / backoff_cap: retry ``i`` sleeps
+            ``min(backoff_cap, backoff * 2**i)`` seconds.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8731, *,
                  timeout: float = 60.0,
-                 stream_timeout: "float | None" = None) -> None:
+                 stream_timeout: "float | None" = None,
+                 retries: int = 4, backoff: float = 0.05,
+                 backoff_cap: float = 2.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.stream_timeout = stream_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
 
     # -- plumbing ----------------------------------------------------------
 
@@ -72,6 +102,25 @@ class ServiceClient:
         finally:
             conn.close()
 
+    def _sleep(self, seconds: float) -> None:
+        """Backoff hook -- tests patch this to run retries instantly."""
+        time.sleep(seconds)
+
+    def _delay(self, attempt: int) -> float:
+        return min(self.backoff_cap, self.backoff * (2 ** attempt))
+
+    def _get(self, path: str) -> dict:
+        """An idempotent GET: safe to replay, so connection errors
+        retry with capped exponential backoff before giving up."""
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request("GET", path)
+            except _RETRYABLE:
+                if attempt >= self.retries:
+                    raise
+                self._sleep(self._delay(attempt))
+        raise AssertionError("unreachable")
+
     # -- API ---------------------------------------------------------------
 
     def submit(self, spec: "dict") -> dict:
@@ -81,12 +130,12 @@ class ServiceClient:
         return self._request("POST", "/jobs", spec)
 
     def job(self, job_id: str) -> dict:
-        """``GET /jobs/<id>``: the full job record."""
-        return self._request("GET", f"/jobs/{job_id}")
+        """``GET /jobs/<id>``: the full job record (retried)."""
+        return self._get(f"/jobs/{job_id}")
 
     def jobs(self) -> "list[dict]":
-        """``GET /jobs``: every record, oldest first."""
-        return self._request("GET", "/jobs")["jobs"]
+        """``GET /jobs``: every record, oldest first (retried)."""
+        return self._get("/jobs")["jobs"]
 
     def cancel(self, job_id: str) -> dict:
         """``DELETE /jobs/<id>``: request shard-granular cancellation;
@@ -95,13 +144,35 @@ class ServiceClient:
         return self._request("DELETE", f"/jobs/{job_id}")
 
     def health(self) -> dict:
-        """``GET /healthz``."""
-        return self._request("GET", "/healthz")
+        """``GET /healthz`` (retried)."""
+        return self._get("/healthz")
 
-    def events(self, job_id: str):
-        """``GET /jobs/<id>/events``: generator of event dicts, ending
-        with (and including) the terminal ``end`` event.  Closing the
-        generator closes the connection; the job keeps running."""
+    def register_worker(self, host: str, port: int,
+                        workers: "int | None" = None) -> dict:
+        """``POST /workers``: register a worker daemon with this
+        (coordinator) service; returns the placement detail.  Not
+        retried here -- boot-time registration loops live in the CLI,
+        where the retry window is a policy choice."""
+        payload: dict = {"host": host, "port": port}
+        if workers is not None:
+            payload["workers"] = workers
+        return self._request("POST", "/workers", payload)
+
+    def workers(self) -> "list[dict]":
+        """``GET /workers``: the registered fleet (retried)."""
+        return self._get("/workers")["workers"]
+
+    def _stream_once(self, job_id: str, skip: int, state=None):
+        """One ``GET /jobs/<id>/events`` connection, skipping the
+        first ``skip`` non-terminal events of the server's history
+        replay (events this client already yielded on an earlier
+        connection).  The terminal ``end`` event is never skipped.
+
+        If the replay holds *fewer* non-terminal events than ``skip``
+        asked for, the server has collapsed a finished job's history
+        between our connections -- ``state["lost"]`` (when a state
+        dict is passed) records the shortfall so the caller can
+        backfill from the job record."""
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.stream_timeout
         )
@@ -118,11 +189,95 @@ class ServiceClient:
                 if not line:
                     continue
                 event = json.loads(line)
+                if event.get("type") != "end" and skip > 0:
+                    skip -= 1
+                    continue
+                if event.get("type") == "end" and state is not None:
+                    state["lost"] = skip
                 yield event
                 if event.get("type") == "end":
                     return
         finally:
             conn.close()
+
+    def _recover_missing(self, job_id: str, delivered: set):
+        """Backfill shard outcomes a collapsed history can no longer
+        replay: the job record's report carries every outcome, so
+        anything whose mutant ``index`` was never streamed to this
+        client is re-yielded as one synthetic ``shard`` event (marked
+        ``"recovered": true``).  Best effort -- the terminal ``end``
+        event that triggered this carries the full report anyway."""
+        try:
+            report = self.job(job_id).get("report")
+        except (ServiceError, *_RETRYABLE):
+            return
+        if not report:
+            return
+        missing = [o for o in report.get("outcomes", [])
+                   if o.get("index") not in delivered]
+        if missing:
+            yield {"job": job_id, "type": "shard",
+                   "outcomes": missing, "recovered": True}
+
+    def events(self, job_id: str):
+        """``GET /jobs/<id>/events``: generator of event dicts, ending
+        with (and including) the terminal ``end`` event.  Closing the
+        generator closes the connection; the job keeps running.
+
+        A dropped stream **reconnects** (up to ``retries`` consecutive
+        failures, capped exponential backoff): the server replays the
+        event history on every connection, so the generator skips what
+        it already yielded and carries on -- the caller sees one
+        seamless, duplicate-free stream even across a server restart
+        that preserved the job store.  A stream that closes cleanly
+        *without* an ``end`` event counts as a failure too (the server
+        died between accept and finish).
+
+        If the job finishes while the client is between connections,
+        the server may already have collapsed the history this
+        reconnect needed to replay; the missed shard outcomes are then
+        backfilled from the job record as one synthetic ``shard``
+        event (``"recovered": true``) right before the terminal
+        ``end`` -- consumers still see every mutant outcome exactly
+        once."""
+        seen = 0
+        failures = 0
+        delivered: "set" = set()
+        while True:
+            progressed = False
+            state = {"lost": 0}
+            try:
+                for event in self._stream_once(job_id, skip=seen,
+                                               state=state):
+                    progressed = True
+                    if event.get("type") == "end":
+                        if state["lost"]:
+                            yield from self._recover_missing(
+                                job_id, delivered
+                            )
+                        yield event
+                        return
+                    seen += 1
+                    if event.get("type") == "shard":
+                        delivered.update(
+                            o.get("index")
+                            for o in event.get("outcomes", ())
+                        )
+                    yield event
+                # Clean EOF without "end": the server went away
+                # mid-job; fall through to the retry path.
+            except _RETRYABLE:
+                pass
+            except ValueError:
+                pass  # truncated/garbled NDJSON line: connection died
+            if progressed:
+                failures = 0  # the link worked; only count dead air
+            if failures >= self.retries:
+                raise ServiceError(
+                    0, "event stream ended without 'end' event"
+                )
+            self._sleep(self._delay(failures))
+            failures += 1
 
     def watch(self, job_id: str, on_event=None) -> dict:
         """Stream a job to completion; returns its terminal ``end``

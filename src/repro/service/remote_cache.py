@@ -1,0 +1,133 @@
+"""Remote result cache: the shared fleet view of one content-addressed
+store.
+
+:class:`RemoteResultCache` is a drop-in
+:class:`~repro.mutation.ResultCache` whose ``get``/``put`` speak HTTP
+to a ``repro serve`` daemon holding the real store (``GET/PUT
+/cache/<key>``, ``GET /cache/stats``).  The keys are the same
+content-addressed SHA-256 digests every local cache derives
+(:func:`~repro.mutation.cache.mutant_entry_key` and friends), so a
+fleet of worker daemons pointed at one cache server deduplicates
+globally: the first worker to prove a mutant stores the verdict, every
+other holder of the same (model, stimuli, golden, spec, judgement)
+tuple -- any worker, the coordinator's dispatch-time strip, a later
+warm re-run -- replays it.
+
+Failure model: the cache is an *optimisation*, never a correctness
+dependency.  A transport error on ``get`` reads as a miss (the mutant
+simply executes), a transport error on ``put`` drops the write-back
+(the verdict is recomputed next time); both bump :attr:`errors` so
+``/healthz`` can surface a flaky cache server.  :meth:`prune` is
+refused -- housekeeping belongs on the daemon owning the files
+(``repro cache prune`` next to it).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+from repro.mutation import ResultCache
+
+__all__ = ["RemoteResultCache"]
+
+
+class RemoteResultCache(ResultCache):
+    """HTTP client face of a cache served by ``repro serve``.
+
+    Args:
+        host / port: the daemon serving ``/cache/...`` (any role --
+            typically the coordinator, booted with ``--cache-dir``).
+        timeout: per-request socket timeout; cache traffic must never
+            stall a campaign for long, so keep it short.
+
+    Inherits :meth:`~repro.mutation.ResultCache.probe` (and the
+    hit/miss counters) from the local store -- only the key/value
+    transport differs.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731, *,
+                 timeout: float = 30.0) -> None:
+        super().__init__(None)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.errors = 0
+        self._error_lock = threading.Lock()
+
+    def _request(self, method: str, path: str, payload=None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, json.loads(data or b"null")
+        finally:
+            conn.close()
+
+    def _note_error(self) -> None:
+        with self._error_lock:
+            self.errors += 1
+
+    def get(self, key: str) -> "dict | None":
+        """``GET /cache/<key>``: the stored payload, or ``None`` on a
+        miss *or* on any transport failure (degrade to recompute,
+        never to a stuck campaign)."""
+        try:
+            status, data = self._request("GET", f"/cache/{key}")
+        except (OSError, http.client.HTTPException, ValueError):
+            self._note_error()
+            status, data = 404, None
+        payload = data if status == 200 else None
+        with self._lock:
+            if payload is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """``PUT /cache/<key>``: best-effort write-back."""
+        try:
+            status, data = self._request(
+                "PUT", f"/cache/{key}", payload
+            )
+            if status >= 400:
+                self._note_error()
+        except (OSError, http.client.HTTPException, ValueError):
+            self._note_error()
+
+    def stats(self) -> dict:
+        """``GET /cache/stats``: the *server-side* store statistics,
+        annotated with this client's own hit/miss/error counters."""
+        try:
+            status, data = self._request("GET", "/cache/stats")
+        except (OSError, http.client.HTTPException, ValueError):
+            self._note_error()
+            status, data = 0, None
+        if status != 200 or not isinstance(data, dict):
+            data = {"entries": None, "bytes": None, "per_ip": {}}
+        data["backend"] = "remote"
+        data["server"] = f"{self.host}:{self.port}"
+        data["client_hits"] = self.hits
+        data["client_misses"] = self.misses
+        data["client_errors"] = self.errors
+        return data
+
+    def __len__(self) -> int:
+        entries = self.stats().get("entries")
+        return int(entries or 0)
+
+    def prune(self, **kwargs) -> dict:
+        raise RuntimeError(
+            "prune a remote cache on the daemon that owns it "
+            "(repro cache prune --cache-dir ... next to the server)"
+        )

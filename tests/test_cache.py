@@ -530,3 +530,121 @@ class TestCacheHousekeeping:
         assert cache.get("ee" * 32) is None
         cache.put("ee" * 32, {"ip": "dsp", "x": 9})
         assert cache.get("ee" * 32) == {"ip": "dsp", "x": 9}
+
+
+class TestPruneConcurrency:
+    """PR-6 satellite: ``prune`` vs concurrent writers/pruners.  A
+    prune scans, then deletes -- anything can happen in between: a
+    live campaign re-writes an entry the scan aged out, another prune
+    (or process) deletes a file first.  Neither may crash the prune,
+    and no entry written at or after the scan start is ever deleted."""
+
+    def _seed(self, cache):
+        for key in ("aa", "bb", "cc", "dd"):
+            cache.put(key * 32, {"ip": "dsp", "k": key})
+
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    def test_never_deletes_entries_newer_than_scan_start(self, backend,
+                                                         tmp_path):
+        import os
+        import time as _time
+
+        cache = ResultCache(None if backend == "memory"
+                            else tmp_path / "c")
+        self._seed(cache)
+        # Stamp one entry as written *after* the prune's scan start --
+        # the deterministic stand-in for a campaign re-writing it in
+        # the scan-to-delete window.
+        fresh = "bb" * 32
+        future = _time.time() + 3_600
+        if cache.root is None:
+            cache._times[fresh] = future
+        else:
+            os.utime(cache._path(fresh), (future, future))
+        result = cache.prune(max_bytes=0)   # wants everything gone
+        assert result["removed_entries"] == 3
+        assert result["kept_entries"] == 1
+        assert cache.get(fresh) == {"ip": "dsp", "k": "bb"}
+
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    def test_tolerates_entries_vanishing_mid_scan(self, backend,
+                                                  tmp_path):
+        import os
+
+        cache = ResultCache(None if backend == "memory"
+                            else tmp_path / "c")
+        self._seed(cache)
+        # Freeze the scan, then yank one entry behind its back (a
+        # concurrent pruner in another process got there first).
+        scanned = list(cache._entries())
+        victim_key, victim_path = scanned[0][0], scanned[0][1]
+        if cache.root is None:
+            del cache._mem[victim_key]
+        else:
+            os.unlink(victim_path)
+        cache._entries = lambda: iter(scanned)   # stale scan data
+        result = cache.prune(max_bytes=0)
+        # No crash; the vanished entry is simply not double-counted.
+        assert result["removed_entries"] == 3
+        assert cache.get("dd" * 32) is None
+
+    def test_two_concurrent_pruners_remove_each_entry_once(self,
+                                                           tmp_path):
+        import threading
+
+        cache_a = ResultCache(tmp_path / "c")
+        cache_b = ResultCache(tmp_path / "c")    # same store
+        for i in range(40):
+            cache_a.put(f"{i:064x}", {"ip": "dsp", "i": i})
+        results = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def pruner(name, cache):
+            try:
+                barrier.wait(timeout=10)
+                results[name] = cache.prune(max_bytes=0)
+            except BaseException as exc:      # surfaced below
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=pruner, args=(name, cache))
+            for name, cache in (("a", cache_a), ("b", cache_b))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        removed = sum(r["removed_entries"] for r in results.values())
+        assert removed == 40                  # each entry exactly once
+        assert len(cache_a) == 0
+
+    def test_prune_hammer_against_live_writer(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path / "c")
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                i = 0
+                while not stop.is_set():
+                    cache.put(f"{i % 64:064x}", {"ip": "dsp", "i": i})
+                    i += 1
+            except BaseException as exc:      # surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(25):
+                cache.prune(max_bytes=0, older_than_s=0.0)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors, errors
+        # The store is fully functional afterwards.
+        cache.put("ff" * 32, {"ip": "dsp", "x": 1})
+        assert cache.get("ff" * 32) == {"ip": "dsp", "x": 1}
