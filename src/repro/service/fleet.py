@@ -19,9 +19,10 @@ where a shard ran):
     serialises the shard (:func:`~repro.service.api.encode_shard`),
     POSTs it from a small thread pool sized to the worker's capacity,
     and decodes the outcome list.  Transport failures (connection
-    reset, refused, timeouts) surface as
+    reset, refused, timeouts) and 5xx answers (the worker's machinery
+    broke, not the shard) surface as
     :class:`~repro.mutation.PlacementLostError` and mark the placement
-    dead; HTTP-level errors (the shard itself failed remotely)
+    dead; 4xx answers (the shard itself was rejected remotely)
     propagate as ordinary exceptions, because re-dispatching a
     poisoned shard elsewhere would only fail again.
 
@@ -186,10 +187,12 @@ class RemoteWorkerPlacement(ShardPlacement):
     slot is a thread in a private pool holding one blocking POST; the
     daemon executes the shard and answers with the outcome list.
 
-    Transport errors raise :class:`~repro.mutation.PlacementLostError`
-    and flip :attr:`alive` off (the fleet stops dispatching here and
-    re-dispatches the lost shard); a later :meth:`ping` can revive the
-    placement if the daemon comes back.
+    Transport errors and HTTP 5xx answers (the daemon's machinery
+    broke, not the shard) raise
+    :class:`~repro.mutation.PlacementLostError` and flip :attr:`alive`
+    off (the fleet stops dispatching here and re-dispatches the lost
+    shard); a later :meth:`ping` can revive the placement if the
+    daemon comes back.
     """
 
     kind = "remote"
@@ -287,9 +290,24 @@ class RemoteWorkerPlacement(ShardPlacement):
             ) from exc
         finally:
             conn.close()
+        if response.status >= 500:
+            # 5xx is the worker's *machinery* failing (broken process
+            # pool, OOM-killed child, unhandled daemon error) -- the
+            # shard itself is fine and would succeed on a survivor, so
+            # treat it like transport loss and let the fleet
+            # re-dispatch.
+            self._alive = False
+            with self._lock:
+                self._failures += 1
+            raise PlacementLostError(
+                f"worker {self.identity} failed shard-side: "
+                f"HTTP {response.status}: "
+                f"{data.get('error', 'unknown error')}"
+            )
         if response.status >= 400:
-            # The daemon answered coherently: the *shard* failed there
-            # and would fail anywhere -- propagate, don't re-dispatch.
+            # 4xx means the daemon coherently rejected the *shard*
+            # (malformed / undecodable) -- it would fail anywhere, so
+            # propagate instead of poisoning a survivor.
             with self._lock:
                 self._failures += 1
             raise RuntimeError(
@@ -434,8 +452,12 @@ class FleetPlacement(ShardPlacement):
         # rotate -- an inline local pool runs its shard synchronously
         # inside submit() and therefore always reports zero load, so
         # always-take-the-first would starve every remote member.
-        best = min(self._load(p) for p in candidates)
-        tied = [p for p in candidates if self._load(p) == best]
+        # Loads are snapshotted once: in_flight counters move under us
+        # from done-callbacks, and re-reading them for the tie filter
+        # could leave it empty.
+        loads = [(self._load(p), p) for p in candidates]
+        best = min(load for load, _ in loads)
+        tied = [p for load, p in loads if load == best]
         with self._lock:
             self._rotation += 1
             return tied[self._rotation % len(tied)]
@@ -452,18 +474,24 @@ class FleetPlacement(ShardPlacement):
         except Exception:
             pass
 
-    def _dispatch(self, shard, outer: Future, tried: set) -> None:
+    def _dispatch(self, shard, outer: Future, tried: set,
+                  recovered=()) -> None:
+        # ``recovered`` carries the outcomes already replayed from the
+        # cache by *previous* attempts at this shard: a re-dispatch
+        # runs on the cache-narrowed remainder, so these can never be
+        # produced again and must survive every retry.
         member = self._choose(tried)
         tried.add(id(member))
-        replayed: "list" = []
+        replayed: "list" = list(recovered)
         if member is not self.local and self.cache is not None:
             # Last-moment dedup against the shared cache: anything
             # another worker (or a previous campaign) already proved
             # never crosses the wire again.
-            replayed, shard, _keys = _probe_shard(self.cache, shard)
-            if replayed:
+            stripped, shard, _keys = _probe_shard(self.cache, shard)
+            if stripped:
                 with self._lock:
-                    self.cache_strip_hits += len(replayed)
+                    self.cache_strip_hits += len(stripped)
+                replayed += stripped
             if shard is None:
                 self._resolve(outer, replayed)
                 return
@@ -476,7 +504,7 @@ class FleetPlacement(ShardPlacement):
                 with self._lock:
                     self.redispatches += 1
                 try:
-                    self._dispatch(shard, outer, tried)
+                    self._dispatch(shard, outer, tried, replayed)
                 except PlacementLostError as exhausted:
                     self._resolve(outer, error=exhausted)
             else:
@@ -487,7 +515,7 @@ class FleetPlacement(ShardPlacement):
         except (PlacementLostError, RuntimeError):
             # Lost between _choose and submit (e.g. shut down): try
             # the next candidate synchronously.
-            self._dispatch(shard, outer, tried)
+            self._dispatch(shard, outer, tried, replayed)
             return
         inner.add_done_callback(_done)
 

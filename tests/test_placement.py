@@ -306,6 +306,71 @@ class TestFleetDispatch:
         assert outcomes == sorted(executed, key=lambda o: o.index)
         assert fleet.stats()["cache_strip_hits"] == len(shard.indices)
 
+    @staticmethod
+    def _half_cached_shard(flows):
+        """One real shard with every other mutant pre-proved into a
+        cache: ``(shard, executed, known, missing, cache)``."""
+        flow = flows("dsp", "razor")
+        stim = case_study("dsp").stimulus(REDUCED_CYCLES)
+        prepared = prepare_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name="dsp", sensor_type="razor",
+        )
+        shard = prepared.shards[0]
+        assert len(shard.indices) >= 2
+        executed = sorted(run_shard_inline(shard),
+                          key=lambda o: o.index)
+        known, missing = executed[::2], executed[1::2]
+        cache = ResultCache(None)
+        keys = shard_entry_keys(shard)
+        for outcome in known:
+            cache.put(keys[outcome.index], encode_outcome(outcome))
+        return shard, executed, known, missing, cache
+
+    def test_redispatch_preserves_cache_stripped_outcomes(self, flows):
+        # The ragged case the strip and the re-dispatch share: the
+        # dispatch-time cache probe narrows the shard, then the chosen
+        # worker dies mid-flight.  The retry runs only the narrowed
+        # remainder, so the stripped outcomes must ride along to the
+        # final result -- dropping them silently truncates the report.
+        shard, executed, known, missing, cache = \
+            self._half_cached_shard(flows)
+        flaky = ScriptedPlacement("flaky", fail_times=1, in_flight=0)
+        backup = ScriptedPlacement("backup", in_flight=9,
+                                   result=missing)
+        fleet = FleetPlacement([flaky, backup], cache=cache)
+        outcomes = fleet.submit(shard).result(timeout=30)
+        assert fleet.stats()["redispatches"] == 1
+        assert sorted(o.index for o in outcomes) == list(shard.indices)
+        assert sorted(outcomes, key=lambda o: o.index) == executed
+        # The survivor saw only the narrowed remainder (the strip
+        # itself held across the retry), and the strip counted once.
+        assert [list(s.indices) for s in backup.submitted] == \
+            [[o.index for o in missing]]
+        assert fleet.stats()["cache_strip_hits"] == len(known)
+
+    def test_sync_retry_preserves_cache_stripped_outcomes(self, flows):
+        # Same property on the synchronous retry path: the placement
+        # dies between _choose and submit (submit *raises* instead of
+        # failing its future).
+        class RaisesOnSubmit(ScriptedPlacement):
+            def submit(self, shard):
+                self.submitted.append(shard)
+                self._alive = False
+                raise PlacementLostError(
+                    f"{self.identity} shut down"
+                )
+
+        shard, executed, known, missing, cache = \
+            self._half_cached_shard(flows)
+        flaky = RaisesOnSubmit("flaky", in_flight=0)
+        backup = ScriptedPlacement("backup", in_flight=9,
+                                   result=missing)
+        fleet = FleetPlacement([flaky, backup], cache=cache)
+        outcomes = fleet.submit(shard).result(timeout=30)
+        assert flaky.submitted
+        assert sorted(outcomes, key=lambda o: o.index) == executed
+
 
 # ----------------------------------------------------------------------
 # The equivalence property: local pool vs remote worker fleet
@@ -464,10 +529,40 @@ class TestRemoteWorkerPlacement:
             finally:
                 placement.shutdown()
 
+    def test_worker_5xx_is_placement_loss_not_poison(self, flows,
+                                                     monkeypatch):
+        # HTTP 5xx means the worker's *machinery* broke (e.g. its
+        # local process pool died): the shard would succeed on a
+        # survivor, so the placement must be marked lost (triggering
+        # fleet re-dispatch) instead of the job failing outright.
+        flow = flows("dsp", "razor")
+        stim = case_study("dsp").stimulus(REDUCED_CYCLES)
+        prepared = prepare_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name="dsp", sensor_type="razor",
+        )
+        with _worker_server() as server:
+            placement = _remote(server)
+            try:
+                def broken_pool(payload):
+                    raise RuntimeError("process pool is broken")
+
+                monkeypatch.setattr(server.service.worker,
+                                    "run_shard_payload", broken_pool)
+                future = placement.submit(prepared.shards[0])
+                with pytest.raises(PlacementLostError,
+                                   match="failed shard-side"):
+                    future.result(timeout=30)
+                assert not placement.alive
+            finally:
+                placement.shutdown()
+
     def test_rejected_shard_propagates_not_redispatches(self):
-        # A worker that answers coherently (HTTP 400/500): the *shard*
-        # is the problem, so the fleet must fail it rather than poison
-        # the survivor with a re-dispatch.
+        # A worker that coherently rejects the shard (HTTP 4xx): the
+        # *shard* is the problem, so the fleet must fail it rather
+        # than poison the survivor with a re-dispatch.  (5xx means the
+        # worker's machinery broke and *does* re-dispatch -- see
+        # TestRemoteWorkerPlacement.)
         class Rejecting(ScriptedPlacement):
             def submit(self, shard):
                 self.submitted.append(shard)
