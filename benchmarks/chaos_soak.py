@@ -1,0 +1,259 @@
+"""Chaos soak: the fault-injection property against a real fleet.
+
+For every seed in a fixed sweep, boots a coordinator-side fleet over
+**two real worker daemons** (subprocesses) plus the local pool, under
+a seed-derived fault plan split across the layers:
+
+* coordinator side (ambient :func:`repro.faults.active_plan`):
+  ``net.drop.post_shards`` (dropped shard POSTs -> re-dispatch),
+  ``pool.break_worker`` (a local pool worker dies -> rebuild),
+  ``cache.corrupt_entry`` (poisoned result-cache writes ->
+  quarantine);
+* worker side (daemon booted with ``--fault-plan``): ``worker.hang``
+  (the daemon sits on a shard -> the coordinator's stall detector
+  evicts it and re-dispatches early).
+
+The **soak property** checked per seed (see ``docs/chaos.md``): the
+campaign either completes with a report field-identical to the
+fault-free baseline, or fails loudly with a structured diagnostic
+naming an injected fault.  A silently wrong or truncated report fails
+the run.  Per-seed plan stats, fleet stats and failure diagnostics
+are written as JSON (``BENCH_chaos.json`` in CI) so a red chaos job
+names the exact seed and fault to replay.
+
+Usage::
+
+    python benchmarks/chaos_soak.py [--seeds 1,2,3] [--cycles C]
+        [--out BENCH_chaos.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.faults import FaultPlan, active_plan              # noqa: E402
+from repro.flow import run_flow                              # noqa: E402
+from repro.ips import case_study                             # noqa: E402
+from repro.mutation import (                                 # noqa: E402
+    CampaignScheduler,
+    prepare_campaign,
+    run_campaign,
+    stream_shard_batches,
+)
+from repro.mutation.cache import ResultCache                 # noqa: E402
+from repro.service import (                                  # noqa: E402
+    FleetPlacement,
+    RemoteWorkerPlacement,
+)
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "src"
+)
+
+
+class WorkerDaemon:
+    """One ``repro serve --role worker`` subprocess on an ephemeral
+    port, optionally booted with a ``--fault-plan``."""
+
+    def __init__(self, workdir: str, index: int,
+                 fault_plan: "str | None" = None) -> None:
+        self.ready_file = os.path.join(workdir, f"worker{index}.addr")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [SRC_DIR] + [p for p in [env.get("PYTHONPATH")] if p]
+        )
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--role", "worker", "--port", "0", "--workers", "1",
+            "--no-cache",
+            "--state-dir", os.path.join(workdir, f"worker{index}"),
+            "--ready-file", self.ready_file,
+        ]
+        if fault_plan:
+            command += ["--fault-plan", fault_plan]
+        self.process = subprocess.Popen(
+            command, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        )
+        self.host, self.port = self._await_ready()
+
+    def _await_ready(self, timeout_s: float = 60.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"worker daemon exited early "
+                    f"(rc={self.process.returncode})"
+                )
+            if os.path.exists(self.ready_file):
+                text = open(self.ready_file).read().split()
+                if len(text) == 2:
+                    return text[0], int(text[1])
+            time.sleep(0.1)
+        raise RuntimeError("worker daemon never wrote its ready file")
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+
+def _is_loud(exc: BaseException) -> bool:
+    """A *loud* failure names an injected fault (structured
+    diagnostic) or is an explicit exhaustion of the recovery budget --
+    the acceptable OR-branch of the soak property."""
+    if getattr(exc, "diagnostic", None):
+        return True
+    return "injected fault" in str(exc) or "no live placement" in str(exc)
+
+
+def soak_one_seed(seed: int, flow, cycles: int, workdir: str) -> dict:
+    """Run one dsp/razor campaign under seed-derived fault plans;
+    returns the per-seed result row (never raises for property-level
+    failures -- those land in the row)."""
+    coordinator_spec = (
+        f"seed={seed};net.drop.post_shards=p0.15x2;"
+        f"pool.break_worker=1x1;cache.corrupt_entry=p0.3x5"
+    )
+    worker_spec = f"seed={seed};worker.hang=1x1;hang=1.5"
+    baseline = run_campaign(
+        flow.tlm_optimized, flow.injected,
+        case_study("dsp").stimulus(cycles),
+        ip_name="dsp", sensor_type="razor", workers=1,
+    )
+    row: dict = {
+        "seed": seed,
+        "coordinator_plan": coordinator_spec,
+        "worker_plan": worker_spec,
+        "ok": False,
+        "outcome": None,
+        "diagnostics": [],
+    }
+    seed_dir = os.path.join(workdir, f"seed{seed}")
+    os.makedirs(seed_dir, exist_ok=True)
+    daemons = []
+    plan = FaultPlan.from_spec(coordinator_spec)
+    cache = ResultCache(os.path.join(seed_dir, "cache"))
+    try:
+        daemons = [
+            WorkerDaemon(seed_dir, 0, fault_plan=worker_spec),
+            WorkerDaemon(seed_dir, 1),
+        ]
+        with CampaignScheduler(workers=2) as local:
+            fleet = FleetPlacement(
+                [RemoteWorkerPlacement(d.host, d.port) for d in daemons],
+                local=local, cache=cache,
+                heartbeat_interval=0.25, stall_timeout=0.75,
+            )
+            try:
+                with active_plan(plan):
+                    prepared = prepare_campaign(
+                        flow.tlm_optimized, flow.injected,
+                        case_study("dsp").stimulus(cycles),
+                        ip_name="dsp", sensor_type="razor",
+                        workers=fleet.workers, shard_size=1,
+                        cache=cache,
+                    )
+                    outcomes = []
+                    for batch, _snapshot in stream_shard_batches(
+                            fleet, prepared, cache=cache):
+                        outcomes.extend(batch)
+                    report = prepared.build_report(outcomes)
+                row["fleet_stats"] = fleet.stats()
+                if report == baseline:
+                    row["ok"] = True
+                    row["outcome"] = "healed: report identical to baseline"
+                else:
+                    row["outcome"] = "VIOLATION: silently divergent report"
+                    row["diagnostics"].append({
+                        "fault": "soak.divergent_report",
+                        "expected_total": baseline.total,
+                        "got_total": report.total,
+                        "expected_score": baseline.mutation_score,
+                        "got_score": report.mutation_score,
+                    })
+            except BaseException as exc:
+                row["fleet_stats"] = fleet.stats()
+                if _is_loud(exc):
+                    row["ok"] = True
+                    row["outcome"] = f"loud failure: {exc}"
+                else:
+                    row["outcome"] = f"VIOLATION: silent failure: {exc!r}"
+                diagnostic = getattr(exc, "diagnostic", None)
+                if diagnostic:
+                    row["diagnostics"].append(diagnostic)
+            finally:
+                fleet.shutdown()
+    finally:
+        for daemon in daemons:
+            daemon.stop()
+        row["plan_stats"] = plan.stats()
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", default="1,2,3",
+                        help="comma-separated fault-plan seeds to sweep")
+    parser.add_argument("--cycles", type=int, default=24,
+                        help="testbench cycles per campaign")
+    parser.add_argument("--out", default=None,
+                        help="write per-seed results to this JSON file "
+                             "(e.g. BENCH_chaos.json)")
+    args = parser.parse_args(argv)
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+
+    print("building dsp/razor flow ...", flush=True)
+    flow = run_flow(case_study("dsp"), "razor", run_mutation=False)
+
+    workdir = tempfile.mkdtemp(prefix="chaos-soak-")
+    rows = []
+    try:
+        for seed in seeds:
+            print(f"seed {seed}: booting fleet under fault plan ...",
+                  flush=True)
+            row = soak_one_seed(seed, flow, args.cycles, workdir)
+            print(f"seed {seed}: {row['outcome']}", flush=True)
+            rows.append(row)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    ok = all(row["ok"] for row in rows)
+    payload = {
+        "benchmark": "chaos_soak",
+        "seeds": seeds,
+        "cycles": args.cycles,
+        "property": ("report identical to fault-free baseline OR "
+                     "loud structured failure naming the fault"),
+        "ok": ok,
+        "results": rows,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    if not ok:
+        bad = [row["seed"] for row in rows if not row["ok"]]
+        print(f"CHAOS PROPERTY VIOLATED for seeds {bad}", file=sys.stderr)
+        return 1
+    print(f"chaos property held for all {len(seeds)} seeds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,8 @@ Campaign service (see :mod:`repro.service` and ``docs/service.md``)
 ``serve [--host H] [--port P] [--workers N] [--max-jobs M]
 [--state-dir DIR] [--ready-file FILE] [--cache-dir DIR] [--no-cache]
 [--role standalone|coordinator|worker] [--worker HOST:PORT]
-[--coordinator HOST:PORT] [--cache-url HOST:PORT]``
+[--coordinator HOST:PORT] [--cache-url HOST:PORT]
+[--fault-plan SPEC]``
     Run the long-lived campaign service: jobs submitted over HTTP
     queue onto one shared scheduler pool, every client streams
     per-shard progress (NDJSON).  ``--state-dir`` persists job records
@@ -54,7 +55,10 @@ Campaign service (see :mod:`repro.service` and ``docs/service.md``)
     daemons with a booting coordinator, ``--coordinator`` makes a
     booting worker register *itself* with a coordinator, and
     ``--cache-url`` replaces the local result cache with a remote one
-    served by another daemon's ``/cache`` routes.
+    served by another daemon's ``/cache`` routes.  ``--fault-plan``
+    activates deterministic fault injection for chaos runs
+    (``docs/chaos.md``; equivalently the ``REPRO_FAULT_PLAN`` env
+    var).
 ``submit <ip> <sensor> [--cycles C] [--shard-size M] [--no-recovery]
 [--stop-on-survivor] [--score-threshold X] [--watch] [--host] [--port]``
     Submit one campaign job; prints the job id (``--watch`` then
@@ -420,6 +424,16 @@ def _cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.fault_plan:
+        from repro.faults import FaultPlan, set_fault_plan
+
+        try:
+            plan = FaultPlan.from_spec(args.fault_plan, allow_exit=True)
+        except ValueError as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+        set_fault_plan(plan)
+        print(f"fault injection ACTIVE: {plan.describe()}", flush=True)
     cache = _resolve_cache(args)
     if cache_address is not None:
         cache = RemoteResultCache(*cache_address)
@@ -851,6 +865,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use the result cache served by another "
                               "daemon's /cache routes instead of a "
                               "local --cache-dir (shared fleet cache)")
+    p_serve.add_argument("--fault-plan", default=None, metavar="SPEC",
+                         help="activate deterministic fault injection "
+                              "for chaos runs, e.g. 'seed=7;"
+                              "pool.break_worker=1' (also via the "
+                              "REPRO_FAULT_PLAN env var; see "
+                              "docs/chaos.md)")
     _add_cache_options(p_serve)
 
     p_submit = sub.add_parser(

@@ -58,7 +58,9 @@ from .campaign import (
 from .placement import (
     LocalPoolPlacement,
     PlacementLostError,
+    PoisonShardError,
     ShardPlacement,
+    SupervisedFuture,
 )
 from .rtl_validation import (
     PreparedRtlValidation,
@@ -108,6 +110,8 @@ __all__ = [
     "ShardPlacement",
     "LocalPoolPlacement",
     "PlacementLostError",
+    "PoisonShardError",
+    "SupervisedFuture",
     "PreparedRtlValidation",
     "RtlMutantOutcome",
     "RtlValidationReport",

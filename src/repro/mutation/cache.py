@@ -74,6 +74,8 @@ import tempfile
 import threading
 import time
 
+from ..faults import fault_point
+
 __all__ = [
     "CACHE_SCHEMA",
     "ResultCache",
@@ -438,22 +440,43 @@ class ResultCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.corrupt_quarantined = 0
 
     def _path(self, key: str) -> str:
         assert self.root is not None
         return os.path.join(self.root, "objects", key[:2], key + ".json")
 
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupted/truncated entry aside (``<entry>.corrupt``)
+        so it reads as a clean miss from now on and a later campaign
+        rewrites it, while the evidence survives for forensics.  The
+        ``.corrupt`` suffix keeps it invisible to every store walk
+        (``__len__`` / ``stats`` / ``prune`` filter on ``.json``)."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            pass  # pruned or quarantined concurrently
+        with self._lock:
+            self.corrupt_quarantined += 1
+
     def get(self, key: str) -> "dict | None":
         """Payload stored under ``key``, or ``None`` (a miss).  Updates
-        the hit/miss counters."""
+        the hit/miss counters.  A corrupted or truncated entry (torn
+        write survived by a crash, bit rot) is quarantined and counts
+        as a miss -- it must never escape as a ``ValueError``
+        mid-campaign."""
         if self.root is None:
             payload = self._mem.get(key)
         else:
+            path = self._path(key)
             try:
-                with open(self._path(key)) as handle:
+                with open(path) as handle:
                     payload = json.load(handle)
-            except (OSError, ValueError):
+            except OSError:
                 payload = None
+            except ValueError:
+                payload = None
+                self._quarantine(path)
         with self._lock:
             if payload is None:
                 self.misses += 1
@@ -463,7 +486,12 @@ class ResultCache:
 
     def put(self, key: str, payload: dict) -> None:
         """Store ``payload`` under ``key`` (atomic on disk)."""
+        corrupt = fault_point("cache.corrupt_entry") is not None
         if self.root is None:
+            # The memory backend has no torn writes to simulate; the
+            # injected corruption degrades to the entry being lost.
+            if corrupt:
+                return
             with self._lock:
                 self._mem[key] = payload
                 self._times[key] = time.time()
@@ -474,7 +502,12 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
+                text = json.dumps(payload, sort_keys=True)
+                if corrupt:
+                    # A torn write: half the JSON, atomically renamed
+                    # into place like the real thing.
+                    text = text[: max(1, len(text) // 2)]
+                handle.write(text)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -587,6 +620,7 @@ class ResultCache:
             "per_ip": per_ip,
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt_quarantined": self.corrupt_quarantined,
         }
 
     def _remove(self, key: str, path: "str | None",

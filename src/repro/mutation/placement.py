@@ -39,15 +39,48 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
+from ..faults import fault_point
 from .campaign import _run_shard
 
 __all__ = [
     "LocalPoolPlacement",
     "PlacementLostError",
+    "PoisonShardError",
     "ShardPlacement",
+    "SupervisedFuture",
 ]
+
+
+class SupervisedFuture(Future):
+    """A :class:`~concurrent.futures.Future` settled by a supervisor
+    (callback chain, heartbeat thread) rather than an executor, whose
+    cancellation is therefore **self-acknowledging**.
+
+    ``concurrent.futures.wait``/``as_completed`` only treat a
+    cancelled future as done once an executor acknowledges the
+    cancellation via ``set_running_or_notify_cancel`` (state
+    ``CANCELLED_AND_NOTIFIED``).  Supervised futures have no executor:
+    with a plain ``Future``, ``cancel()`` strands waiters forever even
+    though ``done()`` reports ``True``.  Acknowledging inside
+    ``cancel()`` keeps cancel-then-``wait()`` drain loops (campaign
+    streams, suite abandon paths) from wedging."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cancel_acknowledged = False
+
+    def cancel(self) -> bool:
+        cancelled = super().cancel()
+        if cancelled:
+            with self._condition:
+                acknowledge = not self._cancel_acknowledged
+                self._cancel_acknowledged = True
+            if acknowledge:
+                self.set_running_or_notify_cancel()
+        return cancelled
 
 
 class PlacementLostError(RuntimeError):
@@ -56,6 +89,45 @@ class PlacementLostError(RuntimeError):
     pool broke.  The shard itself is *not* at fault: a fleet reacts by
     re-dispatching it to a surviving placement, whereas any other
     exception (a genuine shard failure) propagates unchanged."""
+
+
+class PoisonShardError(RuntimeError):
+    """A shard broke the local process pool repeatedly and has been
+    quarantined.
+
+    Pool supervision (:meth:`LocalPoolPlacement.submit`) absorbs a
+    :class:`~concurrent.futures.process.BrokenProcessPool` by
+    rebuilding the pool and re-running the lost shard -- but a shard
+    whose *own execution* kills worker processes would do so forever.
+    A break fails **every** queued future of the pool, so break counts
+    alone cannot tell the culprit from innocent bystanders: after
+    :attr:`LocalPoolPlacement.pool_break_limit` breaks a shard is
+    instead re-run in an *isolated* throwaway single-process pool.
+    Innocents prove themselves there; a shard that breaks its private
+    pool too is definitively poisonous and fails loudly, carrying a
+    structured :attr:`diagnostic` (mutant indices, break count, last
+    error) so the campaign's failure names the culprit rather than
+    truncating the report."""
+
+    def __init__(self, shard, breaks: int, last_error: BaseException):
+        indices = list(getattr(shard, "indices", ()) or ())
+        self.diagnostic = {
+            "fault": "pool.poison_shard",
+            "indices": indices,
+            "pool_breaks": breaks,
+            "last_error": repr(last_error),
+        }
+        super().__init__(
+            f"shard {indices} broke the process pool {breaks} times, "
+            f"failed an isolated re-run, and was quarantined "
+            f"(last error: {last_error!r})"
+        )
+
+
+def _exit_worker() -> None:  # pragma: no cover - runs in a pool child
+    """Injected by the ``pool.break_worker`` fault site: die the way a
+    SIGKILLed / OOM-killed worker does, taking the pool down."""
+    os._exit(1)
 
 
 class ShardPlacement:
@@ -143,6 +215,15 @@ class LocalPoolPlacement(ShardPlacement):
 
     kind = "local"
 
+    #: Pool breaks one shard may live through before it is escalated
+    #: to an isolated single-process probe run (see :meth:`_isolate`).
+    #: Innocent shards in flight when *another* shard (or a
+    #: ``kill -9``) breaks the pool also count a break, so reaching
+    #: the limit is suspicion, not conviction: the probe acquits
+    #: bystanders and quarantines only shards that break their own
+    #: private pool too.
+    pool_break_limit = 2
+
     def __init__(self, workers: int = 1, *, mp_context=None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -162,6 +243,8 @@ class LocalPoolPlacement(ShardPlacement):
         self._lock = threading.Lock()
         self._in_flight = 0
         self._shards_done = 0
+        self._pool_rebuilds = 0
+        self._isolations = 0
 
     @property
     def alive(self) -> bool:
@@ -194,11 +277,21 @@ class LocalPoolPlacement(ShardPlacement):
         """Submit one shard; returns a future of its outcome list.
         Inline mode (``workers=1``), and any shard flagged
         ``inline_only``, executes eagerly in the parent and returns an
-        already-resolved future."""
+        already-resolved future.
+
+        Pool execution is **supervised**: a
+        :class:`~concurrent.futures.process.BrokenProcessPool` (a
+        worker was SIGKILLed, OOM-killed or ``os._exit``-ed mid-shard)
+        never reaches the caller directly.  The broken pool is torn
+        down, a fresh one is built, and the lost shard re-runs -- up
+        to :attr:`pool_break_limit` breaks per shard, after which it
+        must prove itself in an isolated single-process probe pool;
+        only a shard that breaks its private pool too is quarantined
+        with a :class:`PoisonShardError`."""
         if self._closed:
             raise RuntimeError("scheduler has been shut down")
         if self.workers <= 1 or getattr(shard, "inline_only", False):
-            future: Future = Future()
+            future: Future = SupervisedFuture()
             try:
                 future.set_result(_run_shard(shard))
             except BaseException as exc:  # pragma: no cover - propagated
@@ -206,7 +299,121 @@ class LocalPoolPlacement(ShardPlacement):
             with self._lock:
                 self._shards_done += 1
             return future
-        return self._track(self.pool().submit(_run_shard, shard))
+        outer: Future = SupervisedFuture()
+        self._track(outer)
+        self._pool_attempt(shard, outer, breaks=0)
+        return outer
+
+    # -- pool supervision -----------------------------------------------
+
+    @staticmethod
+    def _settle(future: Future, result=None, exc=None) -> None:
+        """Resolve *future* if nobody (cancellation) beat us to it."""
+        try:
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+        except Exception:  # InvalidStateError: abandoned by the drain
+            pass
+
+    def _pool_attempt(self, shard, outer: Future, breaks: int) -> None:
+        """Run *shard* on the current pool, chaining recovery onto the
+        inner future.  *breaks* counts the pool breaks this shard has
+        already lived through."""
+        if outer.cancelled():
+            return
+        try:
+            pool = self.pool()
+        except BaseException as exc:  # closed mid-retry
+            self._settle(outer, exc=exc)
+            return
+        try:
+            if fault_point("pool.break_worker") is not None:
+                pool.submit(_exit_worker)
+            inner = pool.submit(_run_shard, shard)
+        except BrokenProcessPool as exc:
+            self._recover_break(shard, outer, breaks + 1, pool, exc)
+            return
+        except BaseException as exc:
+            self._settle(outer, exc=exc)
+            return
+        inner.add_done_callback(
+            lambda f: self._pool_done(f, shard, outer, breaks, pool)
+        )
+
+    def _pool_done(
+        self, inner: Future, shard, outer: Future, breaks: int, pool
+    ) -> None:
+        if outer.cancelled():
+            return
+        try:
+            exc = inner.exception()
+        except CancelledError as cancelled:
+            exc = cancelled
+        if exc is None:
+            self._settle(outer, result=inner.result())
+        elif isinstance(exc, BrokenProcessPool):
+            self._recover_break(shard, outer, breaks + 1, pool, exc)
+        else:
+            self._settle(outer, exc=exc)
+
+    def _recover_break(
+        self, shard, outer: Future, breaks: int, pool, exc: BaseException
+    ) -> None:
+        """A pool break reached *shard*: rebuild the pool (once -- every
+        in-flight shard of the broken pool lands here) and re-run the
+        shard -- on the shared pool while under the break limit, in an
+        isolated probe pool once at it (a break fails every queued
+        future, so a repeat offender may still be an innocent
+        bystander of somebody else's kill)."""
+        self._rebuild_pool(pool)
+        if breaks >= self.pool_break_limit:
+            self._isolate(shard, outer, breaks, exc)
+        else:
+            self._pool_attempt(shard, outer, breaks)
+
+    def _isolate(
+        self, shard, outer: Future, breaks: int, last: BaseException
+    ) -> None:
+        """Definitive poison test: re-run *shard* alone in a throwaway
+        single-process pool.  Success (or an honest shard exception)
+        settles the outer future; breaking the private pool convicts
+        the shard and quarantines it with a :class:`PoisonShardError`.
+        Runs on its own thread -- recovery callbacks fire on pool
+        threads that must not block on a child process."""
+        if outer.cancelled():
+            return
+        with self._lock:
+            self._isolations += 1
+
+        def probe() -> None:
+            try:
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    result = solo.submit(_run_shard, shard).result()
+            except BrokenProcessPool as exc:
+                self._settle(
+                    outer, exc=PoisonShardError(shard, breaks, exc)
+                )
+            except BaseException as exc:
+                self._settle(outer, exc=exc)
+            else:
+                self._settle(outer, result=result)
+
+        threading.Thread(
+            target=probe, name="repro-shard-isolation", daemon=True
+        ).start()
+
+    def _rebuild_pool(self, broken_pool) -> None:
+        """Discard *broken_pool* so the next :meth:`pool` call creates a
+        fresh one.  Idempotent per broken pool: concurrent recovery
+        callbacks (one per in-flight shard) rebuild at most once."""
+        with self._lock:
+            if self._closed or self._pool is not broken_pool:
+                return
+            self._pool = None
+            self._pool_rebuilds += 1
+        broken_pool.shutdown(wait=False)
 
     def shutdown(self, wait: bool = True) -> None:
         """Close the placement and tear down the pool (if one was ever
@@ -223,6 +430,8 @@ class LocalPoolPlacement(ShardPlacement):
             in_flight = self._in_flight
             shards_done = self._shards_done
             live = self._pool is not None
+            rebuilds = self._pool_rebuilds
+            isolations = self._isolations
         return {
             "kind": self.kind,
             "identity": self.identity,
@@ -232,6 +441,8 @@ class LocalPoolPlacement(ShardPlacement):
             "in_flight": in_flight,
             "queued": max(0, in_flight - self.workers),
             "shards_done": shards_done,
+            "pool_rebuilds": rebuilds,
+            "shard_isolations": isolations,
         }
 
     def __enter__(self) -> "LocalPoolPlacement":

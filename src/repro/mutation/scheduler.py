@@ -205,6 +205,16 @@ class CampaignScheduler(LocalPoolPlacement):
     :class:`~repro.service.fleet.FleetPlacement` -- and produces
     byte-identical reports on all of them (outcomes merge by mutant
     index, never by completion or steal order).
+
+    The pool is **self-healing** (PR 7, inherited from
+    :class:`~repro.mutation.placement.LocalPoolPlacement`): a worker
+    process dying mid-shard (``kill -9``, OOM, ``os._exit``) is
+    absorbed by rebuilding the pool and re-running the lost shards;
+    a shard that keeps breaking pools must prove itself in an
+    isolated probe pool and is otherwise quarantined with a loud,
+    structured
+    :class:`~repro.mutation.placement.PoisonShardError` -- a campaign
+    is never silently truncated by infrastructure failure.
     """
 
     def __enter__(self) -> "CampaignScheduler":

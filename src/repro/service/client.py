@@ -20,9 +20,13 @@ always yielded).  When the job finished between connections and the
 server already collapsed its history to the ``end`` event alone, the
 shard outcomes the replay can no longer provide are backfilled from
 the job record as one synthetic ``"recovered"`` shard event -- every
-mutant outcome is delivered exactly once either way.  Non-idempotent
-calls (``submit``, ``cancel``) never retry -- a duplicate POST would
-enqueue a duplicate campaign.
+mutant outcome is delivered exactly once either way.  ``submit``
+stamps every payload with a client-generated **idempotency key** the
+server dedups on, which is what makes retrying a POST safe: a retry
+that races a submission the server actually processed returns the
+*same* job record instead of enqueueing a duplicate campaign.
+``cancel`` stays never-retried (it is a no-op on terminal jobs and
+the caller can simply call it again).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
+import uuid
 
 from .api import decode_report
 
@@ -126,8 +131,23 @@ class ServiceClient:
     def submit(self, spec: "dict") -> dict:
         """``POST /jobs``: submit a job-spec payload (see
         :class:`~repro.service.jobs.JobSpec`); returns the queued job
-        record (``record["id"]`` is the handle for everything else)."""
-        return self._request("POST", "/jobs", spec)
+        record (``record["id"]`` is the handle for everything else).
+
+        The payload is stamped with a fresh ``idempotency_key``
+        (unless the caller provided one), so connection errors retry
+        with the same backoff as idempotent GETs: if the original POST
+        actually reached the server, the retry returns the same job
+        instead of enqueueing a second campaign."""
+        payload = dict(spec)
+        payload.setdefault("idempotency_key", uuid.uuid4().hex)
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request("POST", "/jobs", payload)
+            except _RETRYABLE:
+                if attempt >= self.retries:
+                    raise
+                self._sleep(self._delay(attempt))
+        raise AssertionError("unreachable")
 
     def job(self, job_id: str) -> dict:
         """``GET /jobs/<id>``: the full job record (retried)."""

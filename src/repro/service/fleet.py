@@ -55,9 +55,15 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
-from repro.mutation import PlacementLostError, ShardPlacement
+from repro.faults import fault_point
+from repro.mutation import (
+    PlacementLostError,
+    ShardPlacement,
+    SupervisedFuture,
+)
 from repro.mutation.cache import decode_outcome, encode_outcome
 from repro.mutation.campaign import CampaignShard, _run_shard
 
@@ -128,11 +134,23 @@ class WorkerCore:
         self.shards_failed = 0
         self.in_flight = 0
         self.cache_replays = 0
+        #: Released when the owning service closes, so an injected
+        #: ``worker.hang`` stall never outlives its daemon (or wedges
+        #: an in-process test harness).
+        self.hang_release = threading.Event()
 
     def run_shard_payload(self, payload: dict) -> dict:
         """``POST /shards``: decode, (maybe) replay from cache, run,
         write back, encode.  Runs on an executor thread."""
         shard = api.decode_shard(payload)
+        plan = fault_point("worker.hang")
+        if plan is not None:
+            # Hung-but-alive: the daemon keeps answering /healthz while
+            # this shard sits here, which is exactly the failure the
+            # coordinator's stall detector exists for.  Bounded so the
+            # worker eventually executes the shard (determinism: the
+            # outcome is identical either way, just late).
+            self.hang_release.wait(plan.hang_seconds)
         with self._lock:
             self.shards_received += 1
             self.in_flight += 1
@@ -264,7 +282,24 @@ class RemoteWorkerPlacement(ShardPlacement):
         self._alive = True
         return True
 
+    def mark_dead(self) -> None:
+        """Stop dispatching here until a :meth:`ping` succeeds again
+        (the fleet's heartbeat supervisor evicts members this way)."""
+        self._alive = False
+
     def _post_shard(self, shard) -> "list":
+        plan = fault_point("net.drop.post_shards")
+        if plan is not None:
+            # The wire "eats" the POST before it touches the socket:
+            # indistinguishable from a connection reset, so it takes
+            # the real placement-loss + re-dispatch path.
+            self._alive = False
+            with self._lock:
+                self._failures += 1
+            raise PlacementLostError(
+                f"worker {self.identity} lost: "
+                f"{plan.error('net.drop.post_shards')}"
+            )
         payload = api.encode_shard(shard)
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -374,19 +409,49 @@ class FleetPlacement(ShardPlacement):
     ``workers`` is the *live* fleet capacity (never below 1, so the
     streaming window keeps draining and a fully-dead fleet fails each
     shard loudly instead of stalling the campaign silently).
+
+    **Heartbeat supervision**: a fleet with members runs a background
+    supervisor that pings every member each ``heartbeat_interval``
+    seconds.  A member that misses ``heartbeat_misses`` consecutive
+    pings -- or (with ``stall_timeout`` set) sits on one dispatched
+    shard longer than that -- is **evicted**: marked dead and every
+    shard in flight on it immediately re-dispatched to a survivor,
+    instead of waiting out the full per-shard HTTP timeout (600 s by
+    default).  Eviction is not expulsion: the supervisor keeps pinging
+    dead members, and one successful ping revives the placement, so a
+    restarted worker rejoins the fleet without re-registering.  The
+    straggling original dispatch, if it ever answers, is discarded --
+    outcomes merge by mutant index, so a duplicate execution cannot
+    change the report.
     """
 
     kind = "fleet"
 
-    def __init__(self, members=(), *, local=None, cache=None) -> None:
+    def __init__(self, members=(), *, local=None, cache=None,
+                 heartbeat_interval: "float | None" = 5.0,
+                 heartbeat_misses: int = 2,
+                 stall_timeout: "float | None" = None) -> None:
         self.local = local
         self.cache = cache
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = max(1, heartbeat_misses)
+        self.stall_timeout = stall_timeout
         self._members: "list[RemoteWorkerPlacement]" = list(members)
         self._lock = threading.Lock()
         self._closed = False
         self._rotation = 0
         self.redispatches = 0
         self.cache_strip_hits = 0
+        self.evictions = 0
+        #: Live remote dispatches: ``id(token) -> token`` where a token
+        #: binds one in-flight shard to the member executing it, so the
+        #: supervisor can re-dispatch a dead member's work early.
+        self._in_flight_tokens: "dict[int, dict]" = {}
+        self._miss_counts: "dict[int, int]" = {}
+        self._hb_stop = threading.Event()
+        self._hb_thread: "threading.Thread | None" = None
+        if self._members:
+            self._ensure_heartbeat()
 
     # -- membership -------------------------------------------------------
 
@@ -408,6 +473,7 @@ class FleetPlacement(ShardPlacement):
                 self._members.append(member)
         if old is not None:
             old.shutdown(wait=False)
+        self._ensure_heartbeat()
 
     @property
     def members(self) -> "list[RemoteWorkerPlacement]":
@@ -496,7 +562,30 @@ class FleetPlacement(ShardPlacement):
                 self._resolve(outer, replayed)
                 return
 
+        # One token per live attempt.  Exactly one of the straggler
+        # done-callback and the supervisor's eviction claims it; the
+        # loser becomes a no-op, so an evicted shard is never resolved
+        # twice with conflicting results.
+        token = {
+            "shard": shard, "outer": outer, "tried": tried,
+            "replayed": replayed, "member": member,
+            "started": time.monotonic(), "claimed": False,
+        }
+        if member is not self.local:
+            with self._lock:
+                self._in_flight_tokens[id(token)] = token
+
+        def _claim() -> bool:
+            with self._lock:
+                if token["claimed"]:
+                    return False
+                token["claimed"] = True
+                self._in_flight_tokens.pop(id(token), None)
+                return True
+
         def _done(inner: Future) -> None:
+            if not _claim():
+                return  # evicted and already re-dispatched
             error = inner.exception()
             if error is None:
                 self._resolve(outer, replayed + inner.result())
@@ -515,9 +604,96 @@ class FleetPlacement(ShardPlacement):
         except (PlacementLostError, RuntimeError):
             # Lost between _choose and submit (e.g. shut down): try
             # the next candidate synchronously.
-            self._dispatch(shard, outer, tried, replayed)
+            if _claim():
+                self._dispatch(shard, outer, tried, replayed)
             return
         inner.add_done_callback(_done)
+
+    # -- heartbeat supervision --------------------------------------------
+
+    def _ensure_heartbeat(self) -> None:
+        """Start the supervisor thread once the fleet has members."""
+        if self.heartbeat_interval is None:
+            return
+        with self._lock:
+            if self._hb_thread is not None or self._closed:
+                return
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-fleet-heartbeat",
+                daemon=True,
+            )
+            self._hb_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._hb_stop.wait(self.heartbeat_interval):
+            if self._closed:
+                return
+            for member in self.members:
+                self._check_member(member)
+
+    def _check_member(self, member) -> None:
+        key = id(member)
+        ping = getattr(member, "ping", None)
+        if ping is None:
+            # A member with no health probe (scripted/test placements)
+            # is supervised for stalls only.
+            ok = member.alive
+        else:
+            try:
+                ok = ping()
+            except Exception:
+                ok = False
+        if ok:
+            self._miss_counts.pop(key, None)
+        else:
+            misses = self._miss_counts.get(key, 0) + 1
+            self._miss_counts[key] = misses
+            if misses >= self.heartbeat_misses:
+                self._evict(member, f"missed {misses} heartbeats")
+                return
+        if self.stall_timeout is not None:
+            now = time.monotonic()
+            with self._lock:
+                stalled = any(
+                    t["member"] is member
+                    and not t["claimed"]
+                    and now - t["started"] > self.stall_timeout
+                    for t in self._in_flight_tokens.values()
+                )
+            if stalled:
+                self._evict(
+                    member,
+                    f"shard in flight > {self.stall_timeout:g}s",
+                )
+
+    def _evict(self, member, reason: str) -> None:
+        """Mark *member* dead and re-dispatch everything in flight on
+        it, without waiting for its HTTP futures to time out.  The
+        member stays in the fleet: the heartbeat keeps pinging it, and
+        a successful ping revives it (a recovered worker rejoins)."""
+        was_alive = member.alive
+        mark_dead = getattr(member, "mark_dead", None)
+        if mark_dead is not None:
+            mark_dead()
+        victims = []
+        with self._lock:
+            for key, token in list(self._in_flight_tokens.items()):
+                if token["member"] is member and not token["claimed"]:
+                    token["claimed"] = True
+                    del self._in_flight_tokens[key]
+                    victims.append(token)
+            if was_alive or victims:
+                self.evictions += 1
+            self.redispatches += len(victims)
+        for token in victims:
+            try:
+                self._dispatch(
+                    token["shard"], token["outer"],
+                    token["tried"], token["replayed"],
+                )
+            except PlacementLostError as exhausted:
+                self._resolve(token["outer"], error=exhausted)
 
     def submit(self, shard) -> Future:
         if self._closed:
@@ -530,7 +706,7 @@ class FleetPlacement(ShardPlacement):
                     "fleet has no local placement"
                 )
             return self.local.submit(shard)
-        outer: Future = Future()
+        outer: Future = SupervisedFuture()
         self._dispatch(shard, outer, set())
         return outer
 
@@ -539,6 +715,10 @@ class FleetPlacement(ShardPlacement):
         owned by whoever constructed it (the campaign service shuts
         its scheduler down itself)."""
         self._closed = True
+        self._hb_stop.set()
+        thread = self._hb_thread
+        if thread is not None and wait:
+            thread.join(timeout=5.0)
         for member in self.members:
             member.shutdown(wait=wait)
 
@@ -558,6 +738,7 @@ class FleetPlacement(ShardPlacement):
                 "workers": workers,
                 "redispatches": self.redispatches,
                 "cache_strip_hits": self.cache_strip_hits,
+                "evictions": self.evictions,
             }
 
 

@@ -14,8 +14,13 @@ Lifecycle::
 
     queued --> running --> done      (campaign completed)
                        \\-> aborted   (DELETE /jobs/<id>, shard-granular)
-                       \\-> failed    (exception, or interrupted by a
-                                      server restart mid-run)
+                       \\-> failed    (exception, or restart budget
+                                      exhausted)
+
+A job caught *running* by a server restart is **re-queued** (its
+``restarts`` counter incremented) and resumed warm through the shared
+result cache, up to :attr:`repro.service.CampaignService.max_restarts`
+times -- only then does it fail, loudly, naming the crash loop.
 
 Records are mutated only on the service's event-loop thread (see
 :mod:`repro.service.server`); the store itself is lock-guarded so the
@@ -149,6 +154,12 @@ class JobRecord:
     finished: "float | None" = None
     error: "str | None" = None
     report: "dict | None" = None
+    #: Times a server restart caught this job ``running`` and
+    #: re-queued it (bounded by the service's ``max_restarts``).
+    restarts: int = 0
+    #: Client-generated dedup token: a retried ``POST /jobs`` carrying
+    #: the same key returns this record instead of a duplicate job.
+    idempotency_key: "str | None" = None
     events: "list[dict]" = field(default_factory=list, repr=False,
                                  compare=False)
 
@@ -166,6 +177,8 @@ class JobRecord:
             "finished": self.finished,
             "error": self.error,
             "report": self.report,
+            "restarts": self.restarts,
+            "idempotency_key": self.idempotency_key,
         }
 
     @classmethod
@@ -179,6 +192,8 @@ class JobRecord:
             finished=payload.get("finished"),
             error=payload.get("error"),
             report=payload.get("report"),
+            restarts=payload.get("restarts", 0),
+            idempotency_key=payload.get("idempotency_key"),
         )
 
 

@@ -70,6 +70,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.faults import fault_point
 from repro.mutation import CampaignScheduler, prepare_campaign
 from repro.mutation.placement import PlacementLostError
 from repro.mutation.scheduler import stream_shard_batches
@@ -120,10 +121,18 @@ class CampaignService:
             seeding the flow cache (tests and benchmarks).
 
     On construction the store is read back: finished jobs keep their
-    reports (``GET /jobs/<id>`` serves them immediately), jobs that
-    died *running* are marked failed, and jobs still queued are
-    re-queued once :meth:`bind_loop` attaches the event loop.
+    reports (``GET /jobs/<id>`` serves them immediately), jobs caught
+    *running* by the crash are re-queued (bounded by
+    :attr:`max_restarts`) and resume warm through the shared result
+    cache, and jobs still queued are re-queued once :meth:`bind_loop`
+    attaches the event loop.
     """
+
+    #: Times a job may be caught ``running`` by a server restart and
+    #: re-queued before the crash loop is declared real and the job
+    #: fails loudly instead (a job whose execution *causes* the crash
+    #: must not bounce forever).
+    max_restarts = 2
 
     def __init__(
         self,
@@ -135,6 +144,8 @@ class CampaignService:
         flows: "dict | None" = None,
         role: str = "standalone",
         identity: "str | None" = None,
+        heartbeat_interval: "float | None" = 5.0,
+        stall_timeout: "float | None" = None,
     ) -> None:
         if max_jobs < 1:
             raise ValueError("max_jobs must be >= 1")
@@ -162,7 +173,11 @@ class CampaignService:
         #: Coordinator face: the placement every job streams on.  With
         #: no registered workers it degrades to the local scheduler
         #: alone -- the historical single-host behaviour, bit-for-bit.
-        self.fleet = FleetPlacement(local=self.scheduler, cache=cache)
+        self.fleet = FleetPlacement(
+            local=self.scheduler, cache=cache,
+            heartbeat_interval=heartbeat_interval,
+            stall_timeout=stall_timeout,
+        )
         #: Wire shards block a thread each while their shard runs on
         #: the local scheduler; size the pool past the scheduler width
         #: so a coordinator can keep every local slot fed.
@@ -184,6 +199,7 @@ class CampaignService:
         self._started_at = time.time()
         self._closed = False
         self._recovered_queued: "list[JobRecord]" = []
+        self._idempotency: "dict[str, str]" = {}
         self._recover()
 
     # -- restart recovery --------------------------------------------------
@@ -191,13 +207,31 @@ class CampaignService:
     def _recover(self) -> None:
         for record in self.store.load_all():
             if record.status == "running":
-                # The previous server died mid-campaign; its pool and
-                # partial outcomes are gone, so the honest state is
-                # failed (resubmitting is the client's call).
-                record.status = "failed"
-                record.error = "interrupted by server restart"
-                record.finished = record.finished or time.time()
+                # The previous server died mid-campaign.  The shards it
+                # finished live on in the content-addressed result
+                # cache, so re-queue the job and run it again: known
+                # verdicts replay from the cache (a warm resume) and
+                # only the genuinely lost tail re-executes.  A job that
+                # keeps getting caught running -- its own execution
+                # crashes the server -- fails loudly after
+                # ``max_restarts`` instead of crash-looping forever.
+                if record.restarts >= self.max_restarts:
+                    record.status = "failed"
+                    record.error = (
+                        "interrupted by server restart "
+                        f"{record.restarts + 1} times; restart budget "
+                        f"({self.max_restarts}) exhausted -- the job "
+                        "itself may be crashing the server"
+                    )
+                    record.finished = record.finished or time.time()
+                else:
+                    record.status = "queued"
+                    record.restarts += 1
+                    record.started = None
+                    record.error = None
                 self.store.save(record)
+            if record.idempotency_key:
+                self._idempotency[record.idempotency_key] = record.id
             if record.terminal:
                 record.events = [{
                     "job": record.id,
@@ -221,9 +255,27 @@ class CampaignService:
     # -- request-level API (loop thread) -----------------------------------
 
     def submit(self, payload: dict) -> JobRecord:
-        """Validate and enqueue one job (``POST /jobs``)."""
+        """Validate and enqueue one job (``POST /jobs``).
+
+        A payload may carry an ``idempotency_key`` (the
+        :class:`~repro.service.client.ServiceClient` always sends
+        one): resubmitting the same key returns the existing record
+        instead of enqueueing a duplicate, which is what makes a
+        *retried* POST safe -- the client cannot tell a lost request
+        from a lost response, and with the key it no longer has to.
+        Runs on the loop thread, so the key check-and-claim is atomic.
+        """
         from repro.ips import CASE_STUDIES
 
+        payload = dict(payload)
+        idempotency_key = payload.pop("idempotency_key", None)
+        if idempotency_key is not None and \
+                not isinstance(idempotency_key, str):
+            raise ValueError("idempotency_key must be a string")
+        if idempotency_key:
+            existing = self._idempotency.get(idempotency_key)
+            if existing is not None and existing in self._jobs:
+                return self._jobs[existing]
         spec = JobSpec.from_payload(payload)
         if spec.ip not in CASE_STUDIES:
             raise ValueError(
@@ -233,8 +285,11 @@ class CampaignService:
         if self._closed:
             raise RuntimeError("service is shutting down")
         record = JobRecord(
-            id=new_job_id(), spec=spec, created=time.time()
+            id=new_job_id(), spec=spec, created=time.time(),
+            idempotency_key=idempotency_key or None,
         )
+        if idempotency_key:
+            self._idempotency[idempotency_key] = record.id
         self._jobs[record.id] = record
         self._cancels[record.id] = threading.Event()
         self.store.save(record)
@@ -445,6 +500,9 @@ class CampaignService:
                 self._post(self._publish, job_id, api.shard_event(batch))
                 self._post(self._publish, job_id,
                            api.progress_event(snapshot))
+                plan = fault_point("server.crash.mid_job")
+                if plan is not None:
+                    self._crash(plan)
             report = prepared.build_report(
                 outcomes, seconds=time.perf_counter() - started
             )
@@ -454,6 +512,24 @@ class CampaignService:
         except Exception as exc:
             self._post(self._finish, job_id, "failed",
                        error=f"{type(exc).__name__}: {exc}")
+
+    @staticmethod
+    def _crash(plan) -> None:
+        """The ``server.crash.mid_job`` fault fired.  A daemon run
+        (``repro serve --fault-plan`` / ``REPRO_FAULT_PLAN``) dies the
+        way a real crash does -- the job record stays ``running`` on
+        disk, and the *next* server re-queues and warm-resumes it.
+        In-process plans raise instead, so a test harness survives:
+        the job then fails loudly with the fault's name in its error.
+        """
+        if plan.allow_exit:  # pragma: no cover - kills the process
+            import os
+
+            os._exit(70)
+        raise plan.error(
+            "server.crash.mid_job",
+            "simulated server crash between shard batches",
+        )
 
     # -- shutdown ----------------------------------------------------------
 
@@ -465,6 +541,7 @@ class CampaignService:
         be called while the event loop still runs (job threads flush
         their final events through it)."""
         self._closed = True
+        self.worker.hang_release.set()
         for cancel in self._cancels.values():
             cancel.set()
         self._executor.shutdown(wait=True, cancel_futures=True)

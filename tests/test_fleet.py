@@ -268,15 +268,20 @@ class TestClientRetries:
         assert client.attempts == 3
         assert len(client.slept) == 2
 
-    def test_submit_never_retries(self, flows):
-        # A duplicate POST would enqueue a duplicate campaign.
+    def test_submit_retries_behind_idempotency_key(self, flows):
+        # PR 7: submit joined the retry policy -- safe because the
+        # payload carries a client-generated idempotency key the
+        # server dedups on (dedup itself is pinned in
+        # tests/test_service.py::TestSubmitIdempotency).
         with _server(flows) as server:
             host, port = server.address
-            client = _FlakyClient(host, port, fail_first=1, retries=4)
-            with pytest.raises(ConnectionResetError):
-                client.submit({"ip": "dsp", "sensor": "razor"})
-            assert client.attempts == 1
-            assert client.slept == []
+            client = _FlakyClient(host, port, fail_first=1, retries=4,
+                                  timeout=60.0)
+            record = client.submit({"ip": "dsp", "sensor": "razor",
+                                    "cycles": REDUCED_CYCLES})
+            assert client.attempts == 2
+            assert len(client.slept) == 1
+            assert client.watch(record["id"])["status"] == "done"
 
     def test_service_error_is_never_retried(self, flows):
         with _server(flows) as server:

@@ -17,7 +17,8 @@ The acceptance contract (PR 6):
 """
 
 import threading
-from concurrent.futures import Future
+import time
+from concurrent.futures import Future, wait
 from types import SimpleNamespace
 
 import pytest
@@ -30,6 +31,7 @@ from repro.mutation import (
     PlacementLostError,
     ResultCache,
     ShardPlacement,
+    SupervisedFuture,
     run_campaign,
 )
 from repro.mutation.cache import encode_outcome, shard_entry_keys
@@ -581,3 +583,163 @@ class TestRemoteWorkerPlacement:
             future.result(timeout=5)
         assert not healthy.submitted
         assert fleet.stats()["redispatches"] == 0
+
+
+# ----------------------------------------------------------------------
+# Heartbeat supervision (PR 7, recovery layer 2)
+# ----------------------------------------------------------------------
+
+class _BlackHolePlacement(ScriptedPlacement):
+    """Accepts shards and never resolves them -- a worker whose host
+    dropped off the network mid-shard.  ``ping`` is scripted so tests
+    steer the supervisor; a successful ping revives the member (like
+    :meth:`RemoteWorkerPlacement.ping`)."""
+
+    def __init__(self, name, *, pings=False, **kw):
+        super().__init__(name, **kw)
+        self.pings = pings
+        self.mark_dead_calls = 0
+        self.futures = []
+
+    def submit(self, shard):
+        self.submitted.append(shard)
+        future = Future()
+        self.futures.append(future)
+        return future
+
+    def ping(self):
+        if self.pings:
+            self._alive = True
+            return True
+        return False
+
+    def mark_dead(self):
+        self.mark_dead_calls += 1
+        self._alive = False
+
+
+class TestHeartbeatSupervision:
+    """Regressions for the PR-7 fleet supervisor: before the fix, a
+    shard on a silently-dead worker sat in flight until the 600s HTTP
+    timeout expired -- the campaign stalled for minutes per lost
+    worker instead of re-dispatching within a couple of heartbeats."""
+
+    def _fleet(self, *members, **kw):
+        kw.setdefault("heartbeat_interval", 0.05)
+        return FleetPlacement(list(members), **kw)
+
+    def test_silent_member_evicted_and_shard_redispatched(self):
+        hole = _BlackHolePlacement("hole", workers=4)
+        good = ScriptedPlacement("good", in_flight=9, result=["ok"])
+        fleet = self._fleet(hole, good, heartbeat_misses=2)
+        try:
+            future = fleet.submit(_wire_shard())
+            assert len(hole.submitted) == 1  # dispatched to the hole
+            # Resolved well before the shard timeout: the supervisor
+            # evicted the silent member and re-dispatched.
+            assert future.result(timeout=10) == ["ok"]
+            stats = fleet.stats()
+            assert stats["evictions"] == 1
+            assert stats["redispatches"] == 1
+            assert hole.mark_dead_calls >= 1
+            assert not hole.alive
+        finally:
+            fleet.shutdown()
+
+    def test_straggler_completion_after_eviction_is_discarded(self):
+        hole = _BlackHolePlacement("hole", workers=4)
+        good = ScriptedPlacement("good", in_flight=9, result=["ok"])
+        fleet = self._fleet(hole, good, heartbeat_misses=2)
+        try:
+            future = fleet.submit(_wire_shard())
+            assert future.result(timeout=10) == ["ok"]
+            # The evicted member finally answers (e.g. the HTTP
+            # response crawls in): exactly-once claim tokens discard
+            # it rather than double-resolving the outer future.
+            hole.futures[0].set_result(["stale"])
+            assert future.result(timeout=1) == ["ok"]
+            assert fleet.stats()["redispatches"] == 1
+        finally:
+            fleet.shutdown()
+
+    def test_recovered_member_rejoins_on_successful_ping(self):
+        hole = _BlackHolePlacement("hole", workers=4)
+        good = ScriptedPlacement("good", in_flight=9, result=["ok"])
+        fleet = self._fleet(hole, good, heartbeat_misses=2)
+        try:
+            fleet.submit(_wire_shard()).result(timeout=10)
+            assert not hole.alive
+            hole.pings = True  # the worker came back
+            deadline = time.monotonic() + 10
+            while not hole.alive and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert hole.alive  # revived by the supervisor's ping
+            assert hole in fleet._candidates()
+        finally:
+            fleet.shutdown()
+
+    def test_stall_timeout_evicts_a_responsive_but_stuck_member(self):
+        # The worker.hang shape: /healthz answers, the shard never
+        # does.  Ping-based supervision can't see it; the opt-in
+        # stall detector can.
+        hole = _BlackHolePlacement("hole", workers=4, pings=True)
+        good = ScriptedPlacement("good", in_flight=9, result=["ok"])
+        fleet = self._fleet(hole, good, stall_timeout=0.15)
+        try:
+            future = fleet.submit(_wire_shard())
+            assert future.result(timeout=10) == ["ok"]
+            assert fleet.stats()["evictions"] >= 1
+            assert fleet.stats()["redispatches"] == 1
+        finally:
+            fleet.shutdown()
+
+
+# ----------------------------------------------------------------------
+# self-acknowledging cancellation of supervised futures (PR 7)
+# ----------------------------------------------------------------------
+
+class TestSupervisedFuture:
+    def test_cancelled_future_is_done_for_wait(self):
+        # A plain Future cancelled without an executor stays CANCELLED
+        # (never CANCELLED_AND_NOTIFIED), so wait() would block
+        # forever on it: exactly the cancel-then-drain wedge that hung
+        # run_benchmark_suite's abandon path.  SupervisedFuture
+        # acknowledges its own cancellation.
+        future = SupervisedFuture()
+        assert future.cancel()
+        done, not_done = wait({future}, timeout=1)
+        assert done == {future}
+        assert not not_done
+        assert future.cancelled()
+
+    def test_double_cancel_is_idempotent(self):
+        future = SupervisedFuture()
+        assert future.cancel()
+        assert future.cancel()
+        done, _ = wait({future}, timeout=1)
+        assert done == {future}
+
+    def test_settled_future_refuses_cancel(self):
+        future = SupervisedFuture()
+        future.set_result(["ok"])
+        assert not future.cancel()
+        assert future.result() == ["ok"]
+
+    def test_scheduler_outer_futures_drain_after_cancel(self, flows):
+        # End-to-end shape of the wedge: cancel every in-flight outer
+        # future, then wait() on them -- must return promptly whether
+        # each cancel won or lost the race with shard completion.
+        flow = flows("dsp", "razor")
+        stim = case_study("dsp").stimulus(REDUCED_CYCLES)
+        prepared = prepare_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name="dsp", sensor_type="razor",
+            workers=2, shard_size=1,
+        )
+        with CampaignScheduler(workers=2) as scheduler:
+            futures = [scheduler.submit(s) for s in prepared.shards[:4]]
+            for future in futures:
+                future.cancel()
+            done, not_done = wait(set(futures), timeout=60)
+            assert not not_done
+            assert done == set(futures)

@@ -10,6 +10,9 @@ bugfixes: timed-out runs excluded from the mutation score, the lazy
 Counter tap-order probe, and per-lane ``meas_val`` histograms.
 """
 
+import os
+import signal
+
 import pytest
 
 from repro.abstraction import GeneratedTlm
@@ -627,3 +630,85 @@ class TestMonitorLanes:
             0 <= lane < monitor.lanes
             for lane in monitor.activity.meas_histogram
         )
+
+
+# ----------------------------------------------------------------------
+# Pool self-healing (PR 7, recovery layer 1)
+# ----------------------------------------------------------------------
+
+class _PoisonShard:
+    """A shard whose *execution* kills its host process -- the organic
+    poison-pill case (a mutant tickling a segfault in a C extension
+    would look exactly like this to the pool)."""
+
+    indices = (0,)
+    inline_only = False
+
+    def run(self):  # pragma: no cover - dies before returning
+        os._exit(1)
+
+
+class _HonestShard:
+    """Control shard: runs fine anywhere."""
+
+    indices = (1,)
+    inline_only = False
+
+    def run(self):
+        return ["ok"]
+
+
+class TestPoolSelfHealing:
+    """Regressions for the PR-7 supervised pool: before the fix, a
+    worker process dying mid-campaign surfaced as a raw
+    ``BrokenProcessPool`` and the whole campaign was lost."""
+
+    def test_sigkilled_worker_mid_campaign_heals(self, flows):
+        spec = case_study("dsp")
+        flow = flows("dsp", "razor")
+        stim = spec.stimulus(REDUCED_CYCLES)
+        baseline = run_campaign(
+            flow.golden_factory(), flow.injected, stim,
+            ip_name="dsp", sensor_type="razor", workers=1,
+        )
+        with CampaignScheduler(workers=2) as scheduler:
+            killed = False
+            outcomes = []
+            for outcome in iter_campaign(
+                flow.golden_factory(), flow.injected, stim,
+                ip_name="dsp", sensor_type="razor",
+                scheduler=scheduler, shard_size=1,
+            ):
+                outcomes.append(outcome)
+                if not killed:
+                    killed = True
+                    # SIGKILL a real pool process while the remaining
+                    # shards are still in flight on it.
+                    pid = next(iter(scheduler._pool._processes))
+                    os.kill(pid, signal.SIGKILL)
+            assert sorted(o.index for o in outcomes) == \
+                list(range(baseline.total))
+            report = MutationReport(
+                ip_name="dsp", sensor_type="razor",
+                variant=flow.injected.variant,
+                outcomes=sorted(outcomes, key=lambda o: o.index),
+                cycles_per_run=len(stim),
+            )
+            assert_reports_match(report, baseline)
+            assert scheduler.describe()["pool_rebuilds"] >= 1
+
+    def test_poison_shard_is_quarantined_loudly(self):
+        from repro.mutation import PoisonShardError
+
+        with CampaignScheduler(workers=2) as scheduler:
+            future = scheduler.submit(_PoisonShard())
+            with pytest.raises(PoisonShardError) as excinfo:
+                future.result(timeout=120)
+            diag = excinfo.value.diagnostic
+            assert diag["fault"] == "pool.poison_shard"
+            assert diag["indices"] == [0]
+            assert diag["pool_breaks"] == scheduler.pool_break_limit
+            # The pool healed: an honest shard still runs afterwards.
+            assert scheduler.submit(_HonestShard()).result(
+                timeout=120) == ["ok"]
+            assert scheduler.describe()["pool_rebuilds"] >= 2

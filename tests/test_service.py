@@ -11,8 +11,10 @@ The service's acceptance contract (PR 5):
   stream ends with an ``aborted`` terminal event carrying the partial
   report, and the pool keeps serving subsequent jobs;
 * a restarted server (same ``--state-dir``) still serves every
-  finished job's report; jobs interrupted *running* surface as
-  ``failed`` instead of silently vanishing.
+  finished job's report; jobs interrupted *running* are re-queued and
+  resumed warm through the shared result cache (PR 7), failing loudly
+  only once the restart budget is exhausted -- never silently
+  vanishing.
 """
 
 import json
@@ -427,20 +429,117 @@ class TestRestartRecovery:
             assert decode_report(events[-1]["report"]) == \
                 baselines[("plasma", "counter")]
 
-    def test_job_interrupted_running_recovers_as_failed(self, tmp_path):
+    def test_job_caught_running_requeues_and_resumes_warm(
+            self, flows, baselines, tmp_path):
+        """The layer-3 recovery regression (fails pre-PR 7, when a
+        crashed-running job was marked failed): a job the previous
+        server died on mid-run is re-queued, resumed through the
+        content-addressed cache, and finishes with the exact
+        fault-free report."""
+        from repro.ips import case_study as _case_study
+        from repro.mutation import ResultCache
+
         state = tmp_path / "state"
+        cache_dir = tmp_path / "cache"
+        # The crashed server got through the whole campaign's shards
+        # before dying (worst case for wasted work, best case for
+        # observing the warm resume): the verdicts live in the cache.
+        flow = flows("dsp", "razor")
+        stim = _case_study("dsp").stimulus(REDUCED_CYCLES)
+        run_campaign(
+            flow.tlm_optimized, flow.injected, stim, ip_name="dsp",
+            sensor_type="razor", workers=1,
+            cache=ResultCache(cache_dir),
+        )
         store = JobStore(state)
         store.save(JobRecord(
             id="deadbeef0000", created=1.0, status="running",
+            spec=JobSpec(ip="dsp", sensor="razor",
+                         cycles=REDUCED_CYCLES),
+        ))
+        service = CampaignService(
+            flows={("dsp", "razor"): flow}, state_dir=state,
+            cache=ResultCache(cache_dir),
+        )
+        with ServiceServer(service) as server:
+            client = _client(server)
+            record = client.job("deadbeef0000")
+            assert record["status"] in ("queued", "running", "done")
+            assert record["restarts"] == 1
+            end = client.watch("deadbeef0000")
+            assert end["status"] == "done"
+            report = decode_report(end["report"])
+            assert report == baselines[("dsp", "razor")]
+            # Warm resume, not a cold re-run: every verdict replayed.
+            assert report.cache_hits == report.total
+            assert report.cache_misses == 0
+
+    def test_restart_budget_exhausted_fails_loudly(self, tmp_path):
+        state = tmp_path / "state"
+        store = JobStore(state)
+        store.save(JobRecord(
+            id="deadbeef0001", created=1.0, status="running",
+            restarts=CampaignService.max_restarts,
             spec=JobSpec(ip="dsp", sensor="razor"),
         ))
         service = CampaignService(state_dir=state)
         try:
-            record = service.get("deadbeef0000")
+            record = service.get("deadbeef0001")
             assert record.status == "failed"
-            assert "restart" in record.error
+            assert "restart budget" in record.error
             # ... and the failure is persisted, not just in memory.
             reloaded = JobStore(state).load_all()[0]
             assert reloaded.status == "failed"
         finally:
             service.close()
+
+
+# ----------------------------------------------------------------------
+# Idempotent submission
+# ----------------------------------------------------------------------
+
+class _LossyResponseClient(ServiceClient):
+    """Drops the *response* of the first POST /jobs after the server
+    processed it -- the failure mode that makes naive POST retries
+    enqueue duplicates."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dropped = 0
+        self.sleeps = []
+
+    def _sleep(self, seconds):
+        self.sleeps.append(seconds)
+
+    def _request(self, method, path, payload=None):
+        data = super()._request(method, path, payload)
+        if method == "POST" and path == "/jobs" and not self.dropped:
+            self.dropped += 1
+            raise ConnectionResetError("response lost after processing")
+        return data
+
+
+class TestSubmitIdempotency:
+    def test_retried_submit_dedups_on_idempotency_key(self, flows):
+        with _server(flows) as server:
+            client = _LossyResponseClient(*server.address, timeout=60.0)
+            record = client.submit({"ip": "dsp", "sensor": "razor",
+                                    "cycles": REDUCED_CYCLES})
+            assert client.dropped == 1  # the retry actually happened
+            assert client.sleeps  # ... through the backoff path
+            jobs = client.jobs()
+            assert len(jobs) == 1  # deduped, not enqueued twice
+            assert jobs[0]["id"] == record["id"]
+            assert client.watch(record["id"])["status"] == "done"
+
+    def test_distinct_keys_enqueue_distinct_jobs(self, flows):
+        with _server(flows) as server:
+            client = _client(server)
+            spec = {"ip": "dsp", "sensor": "razor",
+                    "cycles": REDUCED_CYCLES}
+            first = client.submit(dict(spec))
+            second = client.submit(dict(spec))
+            assert first["id"] != second["id"]
+            assert len(client.jobs()) == 2
+            for record in (first, second):
+                assert client.watch(record["id"])["status"] == "done"
