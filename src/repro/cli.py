@@ -7,19 +7,31 @@ Commands
 ``flow <ip> <sensor> [--cache-dir DIR] [--no-cache]``
     Run the full four-step methodology on one IP with ``razor`` or
     ``counter`` sensors and print the campaign summary.
+``lint <ip> [<ip> ...] [--sensor razor|counter] [--format text|json]``
+    Run the static IR linter (:mod:`repro.lint`) over one or more IPs
+    -- the raw design by default, the sensor-augmented one with
+    ``--sensor``.  Per-IP waivers
+    (``src/repro/lint/waivers/<ip>.json``) are applied; the exit code
+    is non-zero when any unwaived *error*-severity finding remains.
+    ``--format json`` emits the machine-readable reports (findings,
+    severity counts, waived entries) instead of the text listing.
 ``mutate <ip> <sensor> [--workers N] [--shard-size M] [--cycles C]
-[--cache-dir DIR] [--no-cache]``
+[--cache-dir DIR] [--no-cache] [--lint-prune]``
     Run only the mutation campaign through the sharded engine
     (:mod:`repro.mutation.campaign`).  ``--workers`` distributes the
     mutant shards across worker processes (the report is
     deterministic for any worker count); ``--shard-size`` overrides
     the automatic one-shard-per-worker batching; ``--cycles``
-    overrides the testbench length.  Prints campaign throughput
-    (mutants/sec) alongside the Table-5 percentages.  Timed-out
-    (stall-budget-truncated) runs are excluded from every percentage
-    and called out separately in the summary.
+    overrides the testbench length; ``--lint-prune`` lets the static
+    mutant analyzer (:mod:`repro.lint.mutants`) synthesise verdicts
+    for provably-equivalent and duplicate mutants instead of
+    simulating them (the report stays field-identical).  Prints
+    campaign throughput (mutants/sec) alongside the Table-5
+    percentages.  Timed-out (stall-budget-truncated) runs are
+    excluded from every percentage and called out separately in the
+    summary.
 ``bench [--ips a,b] [--sensors razor,counter] [--workers N]
-[--rtl-validation] [--cache-dir DIR] [--no-cache] ...``
+[--rtl-validation] [--cache-dir DIR] [--no-cache] [--lint-prune] ...``
     Run the whole cross-IP campaign suite (every selected IP x sensor
     type) on one shared persistent worker pool through the streaming
     scheduler (:mod:`repro.mutation.scheduler`), with live per-shard
@@ -155,6 +167,49 @@ def _cmd_flow(args) -> int:
         report.timed_out_count == 0 else 1
 
 
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.lint import apply_waivers, lint_module, waivers_for_ip
+
+    exit_code = 0
+    payloads = []
+    for ip in args.ips:
+        spec = case_study(ip)
+        if args.sensor:
+            from repro.flow import build_augmented
+
+            module = build_augmented(spec, args.sensor).augmented.module
+        else:
+            module, _clk = spec.factory()
+        report = apply_waivers(
+            lint_module(module), waivers_for_ip(spec.name)
+        )
+        if not report.ok:
+            exit_code = 1
+        if args.format == "json":
+            payloads.append({
+                "ip": ip,
+                "sensor": args.sensor or "original",
+                **report.to_dict(),
+            })
+            continue
+        counts = report.counts()
+        print(f"{ip} ({args.sensor or 'original'}) -- "
+              f"module {report.module_name}: "
+              f"{counts['error']} error(s), "
+              f"{counts['warning']} warning(s), "
+              f"{counts['info']} info, {len(report.waived)} waived")
+        for finding in report.findings:
+            print(f"  {finding.one_line()}")
+        for finding, waiver in report.waived:
+            print(f"  [waived] {finding.one_line()}"
+                  f"  ({waiver.reason})")
+    if args.format == "json":
+        print(_json.dumps(payloads, indent=2, sort_keys=True))
+    return exit_code
+
+
 def _cmd_mutate(args) -> int:
     spec = case_study(args.ip)
     result = run_flow(
@@ -164,6 +219,7 @@ def _cmd_mutate(args) -> int:
         workers=args.workers,
         shard_size=args.shard_size,
         cache=_resolve_cache(args),
+        lint_prune=args.lint_prune,
     )
     report = result.mutation
     print(format_kv([
@@ -236,6 +292,7 @@ def _cmd_bench(args) -> int:
             cache=cache,
             rtl_validation=args.rtl_validation,
             rtl_validation_cycles=args.rtl_cycles,
+            lint_prune=args.lint_prune,
         )
     rows = []
     for (ip, sensor), report in sorted(suite.reports.items()):
@@ -744,6 +801,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show registered case studies")
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the static IR linter over one or more IPs",
+        description=(
+            "Run the structural netlist checks (combinational loops, "
+            "multi-drivers, width corruption, inferred latches, "
+            "connectivity, X-sources) over the raw IP design, or over "
+            "the sensor-augmented design with --sensor.  Per-IP "
+            "waivers are applied; the exit code is non-zero when any "
+            "unwaived error-severity finding remains."
+        ),
+    )
+    p_lint.add_argument("ips", nargs="+", choices=sorted(CASE_STUDIES),
+                        metavar="ip",
+                        help="case studies to lint (one or more)")
+    p_lint.add_argument("--sensor", choices=["razor", "counter"],
+                        default=None,
+                        help="lint the sensor-augmented design instead "
+                             "of the raw IP")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text",
+                        help="output format (default: text)")
+
     p_flow = sub.add_parser("flow", help="run the full methodology")
     p_flow.add_argument("ip", choices=sorted(CASE_STUDIES))
     p_flow.add_argument("sensor", choices=["razor", "counter"])
@@ -760,6 +840,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mutants per shard (default: auto)")
     p_mut.add_argument("--cycles", type=int, default=None,
                        help="testbench cycles (default: per-IP value)")
+    p_mut.add_argument("--lint-prune", action="store_true",
+                       help="statically prune equivalent/duplicate "
+                            "mutants (verdicts synthesised, report "
+                            "unchanged)")
     _add_cache_options(p_mut)
 
     p_bench = sub.add_parser(
@@ -800,6 +884,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "--cycles, else the per-IP value; short "
                               "RTL testbenches can legitimately miss "
                               "100%% risen)")
+    p_bench.add_argument("--lint-prune", action="store_true",
+                         help="statically prune equivalent/duplicate "
+                              "mutants in every campaign (reports "
+                              "unchanged; RTL validation never pruned)")
     _add_cache_options(p_bench)
 
     p_time = sub.add_parser("timing", help="RTL vs TLM simulation speed")
@@ -937,6 +1025,7 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "list": _cmd_list,
+        "lint": _cmd_lint,
         "flow": _cmd_flow,
         "mutate": _cmd_mutate,
         "bench": _cmd_bench,

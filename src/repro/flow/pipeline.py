@@ -59,6 +59,9 @@ class FlowResult:
     injected: GeneratedTlm            # mutant-injected (Table 5)
     mutation: "MutationReport | None" = None
     rtl_validation: "RtlValidationReport | None" = None
+    #: Pre-campaign IR lint of the augmented design (``None`` when the
+    #: flow ran with ``lint=False``); per-IP waivers already applied.
+    lint_report: "object | None" = None
 
     @property
     def sensors_inserted(self) -> int:
@@ -147,6 +150,8 @@ def run_flow(
     scheduler=None,
     rtl_exec_mode: str = "compiled",
     cache=None,
+    lint: bool = True,
+    lint_prune: bool = False,
 ) -> FlowResult:
     """Execute the full methodology for one IP and sensor type.
 
@@ -173,6 +178,18 @@ def run_flow(
         cache: a :class:`repro.mutation.ResultCache`; campaign and
             RTL-validation verdicts are replayed from it when their
             content-addressed keys match, and written back otherwise.
+        lint: run the IR linter (:mod:`repro.lint`) over the augmented
+            design before the mutation campaign; per-IP waivers
+            (:func:`repro.lint.waivers_for_ip`) are applied, and any
+            remaining *error*-severity finding raises
+            :class:`repro.lint.LintGateError` instead of simulating a
+            broken netlist.  The report lands in
+            :attr:`FlowResult.lint_report` either way.
+        lint_prune: additionally run the static mutant analyzer
+            (:mod:`repro.lint.mutants`): provably-equivalent mutants
+            are judged against the golden trace and duplicates clone
+            their representative's verdict, without changing a single
+            reported field.
 
     Returns:
         A :class:`FlowResult` carrying every artefact of the four
@@ -198,6 +215,22 @@ def run_flow(
     # -- step 3: mutant injection (ADAM) -------------------------------------
     injected = inject_mutants(augmented, variant="hdtlib")
 
+    # -- static analysis gate (repro.lint) -----------------------------------
+    lint_report = None
+    if lint:
+        from repro.lint import (
+            LintGateError,
+            apply_waivers,
+            lint_module,
+            waivers_for_ip,
+        )
+
+        lint_report = apply_waivers(
+            lint_module(module), waivers_for_ip(spec.name)
+        )
+        if not lint_report.ok:
+            raise LintGateError(lint_report)
+
     result = FlowResult(
         spec=spec,
         sensor_type=sensor_type,
@@ -210,6 +243,7 @@ def run_flow(
         tlm_standard=tlm_standard,
         tlm_optimized=tlm_optimized,
         injected=injected,
+        lint_report=lint_report,
     )
 
     # -- step 4: mutation analysis ---------------------------------------------
@@ -222,6 +256,13 @@ def run_flow(
         rtl_validation_cycles = spec.mutation_cycles
     if run_mutation:
         stimuli = spec.stimulus(mutation_cycles)
+        prune_plan = None
+        if lint_prune:
+            from repro.lint import plan_pruning
+
+            # The augmented IR enables the frozen-target fold analysis
+            # on top of the scheduler-level equivalence criteria.
+            prune_plan = plan_pruning(injected, sensor_type, module=module)
         # The GeneratedTlm itself (not a bare factory) keeps the
         # golden fingerprintable, so a warm cache can replay the
         # golden trace and skip the reference simulation entirely.
@@ -236,6 +277,8 @@ def run_flow(
             shard_size=shard_size,
             scheduler=scheduler,
             cache=cache,
+            lint_prune=lint_prune,
+            prune_plan=prune_plan,
         )
 
     if run_rtl_validation:

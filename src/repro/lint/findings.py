@@ -1,0 +1,197 @@
+"""Structured lint findings, severities and waivers.
+
+Every check in :mod:`repro.lint.ir_lint` reports a
+:class:`LintFinding` -- a plain-data record carrying the check id, a
+severity, the offending signal path and the source process -- collected
+into a :class:`LintReport`.  Severity model:
+
+``error``
+    structural defects that make simulation results meaningless or
+    divergent across backends (combinational loops, conflicting
+    drivers, post-construction width corruption).  ``repro lint``
+    exits non-zero on any unwaived error, and
+    :func:`repro.flow.run_flow` refuses to start a mutation campaign
+    over them.
+``warning``
+    latent hazards that simulate deterministically but usually hide a
+    design mistake (inferred latches, undriven-but-read signals,
+    X-propagation sources).
+``info``
+    observations worth surfacing, not acting on (dead signals,
+    intentional sensor multi-drivers).
+
+Intentional findings are suppressed through *waivers*: per-IP JSON
+files (``src/repro/lint/waivers/<ip>.json``) holding a list of
+``{"check": ..., "signal": ..., "process": ..., "reason": ...}``
+objects whose fields are ``fnmatch`` patterns (missing fields default
+to ``"*"``).  Waived findings are kept on the report (``waived``), so
+``repro lint`` can show what was suppressed and why.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SEVERITIES",
+    "LintFinding",
+    "LintReport",
+    "LintGateError",
+    "Waiver",
+    "apply_waivers",
+    "load_waiver_file",
+    "waivers_for_ip",
+]
+
+SEVERITIES = ("error", "warning", "info")
+
+#: Directory holding the shipped per-IP waiver files.
+WAIVER_DIR = Path(__file__).resolve().parent / "waivers"
+
+
+class LintGateError(RuntimeError):
+    """Raised by the pre-campaign lint gate on unwaived error-severity
+    findings; carries the offending :class:`LintReport`."""
+
+    def __init__(self, report: "LintReport") -> None:
+        errors = report.errors()
+        lines = "; ".join(f.one_line() for f in errors)
+        super().__init__(
+            f"lint gate: {len(errors)} error finding(s) on "
+            f"{report.module_name}: {lines}"
+        )
+        self.report = report
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One structural finding."""
+
+    check: str                     # e.g. "comb-loop", "multi-driver"
+    severity: str                  # "error" | "warning" | "info"
+    message: str
+    signal: "str | None" = None    # signal path, e.g. "plasma.pc"
+    process: "str | None" = None   # hierarchical source-process name
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def one_line(self) -> str:
+        where = self.signal or self.process or "-"
+        return f"[{self.severity}] {self.check} {where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "signal": self.signal,
+            "process": self.process,
+        }
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """An fnmatch-pattern suppression rule for intentional findings."""
+
+    check: str = "*"
+    signal: str = "*"
+    process: str = "*"
+    reason: str = ""
+
+    def matches(self, finding: LintFinding) -> bool:
+        return (
+            fnmatch.fnmatchcase(finding.check, self.check)
+            and fnmatch.fnmatchcase(finding.signal or "", self.signal)
+            and fnmatch.fnmatchcase(finding.process or "", self.process)
+        )
+
+
+@dataclass
+class LintReport:
+    """All findings for one linted module."""
+
+    module_name: str
+    findings: "list[LintFinding]" = field(default_factory=list)
+    #: Findings suppressed by a waiver, with the waiver that matched.
+    waived: "list[tuple[LintFinding, Waiver]]" = field(default_factory=list)
+
+    def by_severity(self, severity: str) -> "list[LintFinding]":
+        return [f for f in self.findings if f.severity == severity]
+
+    def errors(self) -> "list[LintFinding]":
+        return self.by_severity("error")
+
+    def warnings(self) -> "list[LintFinding]":
+        return self.by_severity("warning")
+
+    @property
+    def ok(self) -> bool:
+        """True when no unwaived error-severity finding remains."""
+        return not self.errors()
+
+    def counts(self) -> "dict[str, int]":
+        out = {s: 0 for s in SEVERITIES}
+        for f in self.findings:
+            out[f.severity] += 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module_name,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+            "waived": [
+                {**f.to_dict(), "waiver_reason": w.reason}
+                for f, w in self.waived
+            ],
+        }
+
+
+def apply_waivers(
+    report: LintReport, waivers: "list[Waiver]"
+) -> LintReport:
+    """Split a report's findings on the waiver list: matched findings
+    move to ``waived`` (keeping the matching waiver), the rest stay.
+    Returns a new report; the input is untouched."""
+    kept: "list[LintFinding]" = []
+    waived = list(report.waived)
+    for finding in report.findings:
+        hit = next((w for w in waivers if w.matches(finding)), None)
+        if hit is None:
+            kept.append(finding)
+        else:
+            waived.append((finding, hit))
+    return LintReport(
+        module_name=report.module_name, findings=kept, waived=waived
+    )
+
+
+def load_waiver_file(path) -> "list[Waiver]":
+    """Load a waiver JSON file (a list of pattern objects)."""
+    entries = json.loads(Path(path).read_text())
+    if not isinstance(entries, list):
+        raise ValueError(f"waiver file {path} must hold a JSON list")
+    waivers = []
+    for entry in entries:
+        unknown = set(entry) - {"check", "signal", "process", "reason"}
+        if unknown:
+            raise ValueError(
+                f"waiver file {path}: unknown keys {sorted(unknown)}"
+            )
+        waivers.append(Waiver(**entry))
+    return waivers
+
+
+def waivers_for_ip(ip_name: str) -> "list[Waiver]":
+    """The shipped waivers of one case-study IP (empty when the IP has
+    no waiver file -- the common, clean case)."""
+    path = WAIVER_DIR / f"{ip_name}.json"
+    if not path.exists():
+        return []
+    return load_waiver_file(path)

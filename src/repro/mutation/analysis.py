@@ -106,6 +106,15 @@ class MutationReport:
     #: (``True``), simulated and stored (``False``), or the campaign
     #: ran cache-less / with an unfingerprintable golden (``None``).
     golden_cache_hit: "bool | None" = field(default=None, compare=False)
+    #: Static-prune accounting (:mod:`repro.lint.mutants`): ``None``
+    #: when the campaign ran without ``lint_prune``, otherwise the
+    #: number of mutants whose verdicts were synthesised from the
+    #: golden trace (equivalents) or cloned from a representative
+    #: (duplicates) instead of simulated.  ``compare=False`` for the
+    #: same reason as the cache counters -- pruning must never change
+    #: a verdict, so pruned and unpruned reports compare equal.
+    pruned_equivalent: "int | None" = field(default=None, compare=False)
+    pruned_duplicate: "int | None" = field(default=None, compare=False)
 
     @property
     def total(self) -> int:
@@ -250,6 +259,8 @@ def run_mutation_analysis(
     scheduler=None,
     progress=None,
     cache=None,
+    lint_prune: bool = False,
+    prune_plan=None,
 ) -> MutationReport:
     """Run the full campaign: one golden/injected pair per mutant.
 
@@ -262,10 +273,14 @@ def run_mutation_analysis(
     campaigns; ``progress=`` receives per-shard
     :class:`~repro.mutation.scheduler.CampaignProgress` callbacks;
     ``cache=`` replays previously-computed verdicts from a
-    :class:`~repro.mutation.cache.ResultCache`).
+    :class:`~repro.mutation.cache.ResultCache`;
+    ``lint_prune=True`` synthesises verdicts for statically-equivalent
+    and duplicate mutants via :mod:`repro.lint.mutants` instead of
+    simulating them -- pass a module-aware ``prune_plan`` to enable
+    the frozen-target fold analysis).
     The merged report is deterministic -- byte-identical outcomes and
-    percentages for any ``workers`` / ``shard_size`` / cache state
-    combination.
+    percentages for any ``workers`` / ``shard_size`` / cache state /
+    ``lint_prune`` combination.
 
     ``golden_factory()`` must return a fresh non-injected model;
     ``injected`` is the ADAM-generated model description (a fresh
@@ -291,6 +306,8 @@ def run_mutation_analysis(
         scheduler=scheduler,
         progress=progress,
         cache=cache,
+        lint_prune=lint_prune,
+        prune_plan=prune_plan,
     )
 
 

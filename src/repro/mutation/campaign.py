@@ -123,6 +123,15 @@ class PreparedCampaign:
     sit in ``cached_outcomes`` (already re-indexed) and ``cache_keys``
     maps every mutant index to its entry key so executed outcomes can
     be written back.
+
+    When prepared with ``lint_prune=True``, statically-equivalent
+    mutants are judged against the golden trace at prepare time
+    (``pruned_outcomes``) and duplicates of still-executing
+    representatives are deferred (``duplicate_of`` /
+    ``duplicate_specs``) until :meth:`expand_outcomes` clones them as
+    their representative's shard completes.  Pruned mutants are
+    *counted, never dropped*: every mutant index appears in the final
+    outcome stream either way.
     """
 
     ip_name: str
@@ -141,13 +150,56 @@ class PreparedCampaign:
     #: ``False`` when it was simulated (and stored), ``None`` when no
     #: cache was in play or the golden was not fingerprintable.
     golden_cached: "bool | None" = None
+    #: Verdicts synthesised at prepare time by the static mutant
+    #: analyzer (equivalents judged against the golden trace, plus
+    #: duplicates whose representative's verdict was already known).
+    pruned_outcomes: "tuple" = ()
+    #: Deferred duplicates: mutant index -> representative index that
+    #: is still scheduled for execution; resolved by
+    #: :meth:`expand_outcomes`.
+    duplicate_of: "dict[int, int] | None" = None
+    #: Deferred duplicates' own table entries (spec fields for the
+    #: cloned outcome).
+    duplicate_specs: "dict[int, object] | None" = None
+    pruned_equivalent: "int | None" = None
+    pruned_duplicate: "int | None" = None
+
+    @property
+    def replayed_outcomes(self) -> "tuple":
+        """Every verdict known before any shard executes: cache
+        replays plus statically-pruned verdicts, absorbed as one
+        virtual first shard."""
+        return tuple(self.cached_outcomes) + tuple(self.pruned_outcomes)
 
     @property
     def total_shards(self) -> int:
         """Shard count as seen by progress accounting: the executable
-        shards plus one virtual "replay shard" when cached outcomes
-        exist (they are absorbed as a single batch)."""
-        return len(self.shards) + (1 if self.cached_outcomes else 0)
+        shards plus one virtual "replay shard" when replayed (cached
+        or pruned) outcomes exist (they are absorbed as a single
+        batch)."""
+        return len(self.shards) + (1 if self.replayed_outcomes else 0)
+
+    def expand_outcomes(self, outcomes) -> "list":
+        """Resolve deferred duplicates against a freshly-executed
+        outcome batch: clones of any representative present in the
+        batch are appended (spec fields from the duplicate's own
+        table entry, verdict fields from the representative).  Returns
+        a new list; call before cache write-back so the clones earn
+        their own cache entries."""
+        if not self.duplicate_of:
+            return list(outcomes)
+        from repro.lint.mutants import clone_outcome
+
+        by_index = {o.index: o for o in outcomes}
+        expanded = list(outcomes)
+        for dup, rep in sorted(self.duplicate_of.items()):
+            source = by_index.get(rep)
+            if source is None:
+                continue
+            expanded.append(
+                clone_outcome(source, dup, self.duplicate_specs[dup])
+            )
+        return expanded
 
     def build_report(self, outcomes, seconds: float = 0.0) -> MutationReport:
         """Assemble the deterministic merged report: outcomes sorted
@@ -164,6 +216,8 @@ class PreparedCampaign:
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
             golden_cache_hit=self.golden_cached,
+            pruned_equivalent=self.pruned_equivalent,
+            pruned_duplicate=self.pruned_duplicate,
         )
         report.seconds = seconds
         return report
@@ -261,6 +315,8 @@ def prepare_campaign(
     workers: int = 1,
     shard_size: "int | None" = None,
     cache=None,
+    lint_prune: bool = False,
+    prune_plan=None,
 ) -> PreparedCampaign:
     """Run the mutant-independent campaign setup once.
 
@@ -275,9 +331,22 @@ def prepare_campaign(
     :class:`CampaignShard` work units sized for ``workers`` /
     ``shard_size``.
 
+    With ``lint_prune=True`` the static mutant analyzer
+    (:func:`repro.lint.mutants.plan_pruning`, or a precomputed
+    ``prune_plan`` -- pass one built with the augmented IR module to
+    enable the ``frozen-target`` fold analysis) additionally removes
+    provably-equivalent mutants from the executable set: their
+    verdicts are synthesised against the golden trace right here and
+    written back to ``cache`` like executed ones.  Duplicate mutants
+    clone their representative's verdict -- immediately when it is
+    already known (cache hit or equivalent), otherwise deferred to
+    :meth:`PreparedCampaign.expand_outcomes` as the representative's
+    shard completes.
+
     Returns a :class:`PreparedCampaign` whose ``shards`` cover exactly
-    the cache misses (every mutant, when ``cache`` is ``None``);
-    replayed verdicts are carried in ``cached_outcomes``, re-indexed
+    the cache misses minus the pruned set (every mutant, when ``cache``
+    is ``None`` and ``lint_prune`` is off); replayed verdicts are
+    carried in ``cached_outcomes`` / ``pruned_outcomes``, re-indexed
     to the current mutant table.
     """
     specs = injected.mutants
@@ -346,6 +415,78 @@ def prepare_campaign(
         hits = len(cached_outcomes)
         misses = len(miss_indices)
 
+    pruned_outcomes: "list" = []
+    duplicate_of: "dict[int, int]" = {}
+    duplicate_specs: "dict[int, object]" = {}
+    pruned_equivalent = pruned_duplicate = None
+    if lint_prune:
+        from repro.lint.mutants import (
+            clone_outcome,
+            equivalence_confirmed,
+            judge_equivalent,
+            plan_pruning,
+        )
+
+        plan = (
+            prune_plan
+            if prune_plan is not None
+            else plan_pruning(injected, sensor_type)
+        )
+        thresholds = None
+        if sensor_type == "counter":
+            thresholds = dict(
+                getattr(injected.compiled_class(), "LUT_THRESHOLDS", {})
+                or {}
+            )
+        confirmed = {
+            i: reason
+            for i, reason in plan.equivalent.items()
+            if equivalence_confirmed(reason, sensor_type, golden_trace)
+        }
+        # Plan-level counters (all table entries, not just cache
+        # misses) so cold and warm runs of the same campaign report
+        # identical prune statistics.
+        pruned_equivalent = len(confirmed)
+        pruned_duplicate = len(plan.duplicate_of)
+        known = {o.index: o for o in cached_outcomes}
+        remaining: "list[int]" = []
+        for i in miss_indices:
+            if i in confirmed:
+                outcome = judge_equivalent(
+                    i,
+                    specs[i],
+                    golden_trace,
+                    sensor_type=sensor_type,
+                    recovery=recovery,
+                    tap_order=taps,
+                    thresholds=thresholds,
+                )
+                pruned_outcomes.append(outcome)
+                known[i] = outcome
+            else:
+                remaining.append(i)
+        miss_indices = []
+        for i in remaining:
+            rep = plan.duplicate_of.get(i)
+            if rep is None:
+                miss_indices.append(i)
+            elif rep in known:
+                outcome = clone_outcome(known[rep], i, specs[i])
+                pruned_outcomes.append(outcome)
+                known[i] = outcome
+            else:
+                # Representative still executes; clone when its shard
+                # lands (PreparedCampaign.expand_outcomes).
+                duplicate_of[i] = rep
+                duplicate_specs[i] = specs[i]
+        if cache is not None and pruned_outcomes:
+            from .cache import encode_outcome
+
+            for outcome in pruned_outcomes:
+                payload = encode_outcome(outcome)
+                payload["ip"] = ip_name
+                cache.put(cache_keys[outcome.index], payload)
+
     shards = tuple(
         CampaignShard(
             indices=indices,
@@ -370,6 +511,11 @@ def prepare_campaign(
         cache_hits=hits,
         cache_misses=misses,
         golden_cached=golden_cached,
+        pruned_outcomes=tuple(pruned_outcomes),
+        duplicate_of=duplicate_of or None,
+        duplicate_specs=duplicate_specs or None,
+        pruned_equivalent=pruned_equivalent,
+        pruned_duplicate=pruned_duplicate,
     )
 
 
@@ -387,6 +533,8 @@ def run_campaign(
     scheduler=None,
     progress=None,
     cache=None,
+    lint_prune: bool = False,
+    prune_plan=None,
 ) -> MutationReport:
     """Run a full mutation campaign, sharded across ``workers``.
 
@@ -413,14 +561,24 @@ def run_campaign(
         cache: a :class:`~repro.mutation.cache.ResultCache`; known
             verdicts are replayed instead of executed, and fresh
             verdicts are written back as their shards complete.
+        lint_prune: run the static mutant analyzer
+            (:mod:`repro.lint.mutants`) at prepare time; provably
+            equivalent mutants are judged against the golden trace
+            without simulation and duplicates clone their
+            representative's verdict.  ``prune_plan`` optionally
+            supplies a precomputed (module-aware)
+            :class:`~repro.lint.mutants.PrunePlan`.
 
     Returns:
         The merged :class:`MutationReport`, with ``cache_hits`` /
-        ``cache_misses`` set when a cache was in play.
+        ``cache_misses`` set when a cache was in play and
+        ``pruned_equivalent`` / ``pruned_duplicate`` set when
+        ``lint_prune`` was on.
 
     Determinism: the report is byte-identical on every scored field
-    for any ``workers`` / ``shard_size`` / ``scheduler`` combination
-    and for any cache state (cold, warm, or partial).
+    for any ``workers`` / ``shard_size`` / ``scheduler`` combination,
+    for any cache state (cold, warm, or partial), and for
+    ``lint_prune`` on vs off.
     """
     from .scheduler import _ephemeral_width, _leased_scheduler, stream_prepared
 
@@ -436,6 +594,8 @@ def run_campaign(
         workers=workers if scheduler is None else scheduler.workers,
         shard_size=shard_size,
         cache=cache,
+        lint_prune=lint_prune,
+        prune_plan=prune_plan,
     )
     with _leased_scheduler(
         scheduler, _ephemeral_width(workers, prepared)

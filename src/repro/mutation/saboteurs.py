@@ -33,6 +33,8 @@ from repro.rtl.ir import (
     SliceAssign,
     Stmt,
     SyncProcess,
+    WidthError,
+    walk_stmts,
 )
 from repro.rtl.types import LV
 
@@ -52,17 +54,21 @@ class Saboteur:
 
 
 def _retarget_stmts(stmts: "list[Stmt]", old: Signal, new: Signal) -> None:
-    """Rewrite assignment targets ``old`` -> ``new`` in place."""
-    for stmt in stmts:
+    """Rewrite assignment targets ``old`` -> ``new`` in place.
+
+    Statement constructors validate widths only at construction, so an
+    in-place retarget to a narrower/wider signal would silently create
+    the post-construction mismatch ``repro.lint`` hunts for -- reject
+    it here instead.
+    """
+    if new.width != old.width:
+        raise WidthError(
+            f"cannot retarget {old.name} ({old.width} bits) to "
+            f"{new.name} ({new.width} bits)"
+        )
+    for stmt in walk_stmts(stmts):
         if isinstance(stmt, (Assign, SliceAssign)) and stmt.target is old:
             stmt.target = new
-        elif hasattr(stmt, "then"):
-            _retarget_stmts(stmt.then, old, new)
-            _retarget_stmts(stmt.orelse, old, new)
-        elif hasattr(stmt, "cases"):
-            for _, body in stmt.cases:
-                _retarget_stmts(body, old, new)
-            _retarget_stmts(stmt.default, old, new)
 
 
 def insert_saboteur(

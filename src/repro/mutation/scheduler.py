@@ -315,11 +315,15 @@ def stream_shard_batches(
     is exactly this: per-shard outcome batches interleaved with
     progress snapshots); the caller owns the scheduler's lifetime.
 
-    Cache-replayed outcomes (``prepared.cached_outcomes``) are yielded
-    first as one virtual shard -- they count toward progress and can
-    trigger the abort policy before any submission happens.  Freshly
-    executed outcomes are written back to ``cache`` as their shards
-    complete (pass the same cache the campaign was prepared with).
+    Replayed outcomes (``prepared.replayed_outcomes``: cache hits plus
+    statically-pruned verdicts) are yielded first as one virtual shard
+    -- they count toward progress and can trigger the abort policy
+    before any submission happens.  Freshly executed outcomes are
+    expanded with any deferred duplicate clones
+    (:meth:`~repro.mutation.campaign.PreparedCampaign.expand_outcomes`)
+    and written back to ``cache`` as their shards complete (pass the
+    same cache the campaign was prepared with) -- so the clones earn
+    their own content-addressed entries for free.
 
     Abandoning the generator early (``close()``, or an exception out
     of a ``progress`` callback) stops submission and drains in-flight
@@ -329,14 +333,16 @@ def stream_shard_batches(
     from .cache import encode_outcome
 
     tracker = _CampaignTracker(prepared, abort)
-    if prepared.cached_outcomes:
-        tracker.absorb(prepared.cached_outcomes, progress)
-        yield list(prepared.cached_outcomes), tracker.snapshot()
+    replayed = prepared.replayed_outcomes
+    if replayed:
+        tracker.absorb(replayed, progress)
+        yield list(replayed), tracker.snapshot()
     results = _stream_shard_results(
         scheduler, prepared.shards, stop=lambda: tracker.aborted
     )
     try:
         for outcomes in results:
+            outcomes = prepared.expand_outcomes(outcomes)
             _write_back(cache, prepared.cache_keys, outcomes,
                         encode_outcome, ip=prepared.ip_name)
             tracker.absorb(outcomes, progress)
@@ -389,6 +395,8 @@ def iter_campaign(
     progress=None,
     abort: "AbortPolicy | None" = None,
     cache=None,
+    lint_prune: bool = False,
+    prune_plan=None,
 ):
     """Stream one campaign: yield ``MutantOutcome``s as shards complete.
 
@@ -411,7 +419,9 @@ def iter_campaign(
     :class:`~repro.mutation.cache.ResultCache`) replays known verdicts
     as the very first batch -- so with a warm cache the stream yields
     everything instantly and submits nothing -- and writes fresh
-    verdicts back as shards complete.
+    verdicts back as shards complete.  ``lint_prune`` / ``prune_plan``
+    mirror :func:`~repro.mutation.campaign.run_campaign`: statically
+    pruned verdicts join the first (replayed) batch.
     """
     prepared = prepare_campaign(
         golden,
@@ -424,6 +434,8 @@ def iter_campaign(
         workers=workers if scheduler is None else scheduler.workers,
         shard_size=shard_size,
         cache=cache,
+        lint_prune=lint_prune,
+        prune_plan=prune_plan,
     )
     with _leased_scheduler(
         scheduler, _ephemeral_width(workers, prepared)
@@ -533,6 +545,12 @@ class _SuiteJob:
         self.outcomes.extend(outcomes)
         self.tracker.absorb(outcomes, progress)
 
+    def expand(self, outcomes) -> "list":
+        """Resolve deferred duplicate clones against a fresh shard
+        batch (no-op unless the campaign was prepared with
+        ``lint_prune=True``)."""
+        return self.prepared.expand_outcomes(outcomes)
+
     def write_back(self, cache, outcomes) -> None:
         from .cache import encode_outcome
 
@@ -563,6 +581,11 @@ class _RtlSuiteJob:
         self.outcomes.extend(outcomes)
         self.shards_done += 1
 
+    def expand(self, outcomes) -> "list":
+        """RTL validation never prunes: every mutant re-executes at
+        RTL by definition of the cross-level check."""
+        return list(outcomes)
+
     def write_back(self, cache, outcomes) -> None:
         from .cache import encode_rtl_outcome
 
@@ -588,6 +611,7 @@ def run_benchmark_suite(
     rtl_validation: bool = False,
     rtl_validation_cycles: "int | None" = None,
     rtl_exec_mode: str = "compiled",
+    lint_prune: bool = False,
 ) -> SuiteResult:
     """Run the cross-IP campaign suite on one shared worker pool.
 
@@ -626,6 +650,12 @@ def run_benchmark_suite(
             testbenches; pass ``rtl_validation_cycles`` explicitly to
             decouple.
         rtl_exec_mode: kernel execution mode for the RTL shards.
+        lint_prune: run the static mutant analyzer
+            (:mod:`repro.lint.mutants`) on every campaign; equivalent
+            mutants are judged against the golden trace instead of
+            simulated, duplicates clone their representative's
+            verdict.  Reports stay field-identical to an unpruned run
+            (RTL validation is never pruned).
 
     Each campaign's flow (characterise + insert + abstract + inject)
     and golden trace are prepared in the parent, and its shards are
@@ -663,6 +693,11 @@ def run_benchmark_suite(
     def _absorb(job, outcomes, finished_at: "float | None" = None,
                 write: bool = True) -> None:
         if write:
+            # Fresh shard: attach any deferred duplicate clones before
+            # write-back so the clones earn their own cache entries.
+            # (Replayed batches arrive with write=False and already
+            # contain every prepare-time clone.)
+            outcomes = job.expand(outcomes)
             job.write_back(cache, outcomes)
         job.absorb_shard(outcomes, progress)
         if job.complete:
@@ -735,6 +770,17 @@ def run_benchmark_suite(
                 # trace + sharding), matching run_campaign.seconds --
                 # the flow build above is suite setup, not campaign.
                 job_started = time.perf_counter()
+                prune_plan = None
+                if lint_prune:
+                    from repro.lint.mutants import plan_pruning
+
+                    # The augmented IR module enables the
+                    # frozen-target fold analysis on top of the
+                    # scheduler-level criteria.
+                    prune_plan = plan_pruning(
+                        flow.injected, sensor,
+                        module=flow.augmented.module,
+                    )
                 prepared = prepare_campaign(
                     # The GeneratedTlm (not a bare factory) keeps the
                     # golden fingerprintable for golden-trace caching.
@@ -747,6 +793,8 @@ def run_benchmark_suite(
                     workers=sched.workers,
                     shard_size=shard_size,
                     cache=cache,
+                    lint_prune=lint_prune,
+                    prune_plan=prune_plan,
                 )
                 job = _SuiteJob(
                     key=key,
@@ -755,10 +803,11 @@ def run_benchmark_suite(
                     started=job_started,
                 )
                 jobs.append(job)
-                if prepared.cached_outcomes:
-                    # Replayed verdicts are already in the cache --
-                    # absorb without writing them back.
-                    _absorb(job, prepared.cached_outcomes, write=False)
+                if prepared.replayed_outcomes:
+                    # Replayed verdicts (cache hits + statically
+                    # pruned) are already in the cache -- absorb
+                    # without writing them back.
+                    _absorb(job, prepared.replayed_outcomes, write=False)
                 _submit_job(sched, job, prepared.shards)
 
                 if rtl_validation:

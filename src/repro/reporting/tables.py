@@ -92,6 +92,12 @@ def mutation_summary_pairs(report) -> "list[tuple[str, object]]":
             "golden trace",
             "replayed from cache" if golden_hit else "simulated (stored)",
         ))
+    if getattr(report, "pruned_equivalent", None) is not None:
+        pairs.append((
+            "static prune",
+            f"{report.pruned_equivalent} equivalent / "
+            f"{report.pruned_duplicate} duplicate (not simulated)",
+        ))
     return pairs
 
 

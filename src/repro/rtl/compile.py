@@ -87,11 +87,57 @@ __all__ = [
     "compile_process",
     "compile_stmts",
     "clear_cache",
+    "expr_is_pure",
+    "fold_constant",
 ]
 
 
 def _mask(width: int) -> int:
     return (1 << width) - 1
+
+
+def expr_is_pure(expr: Expr, memo: "dict[int, bool] | None" = None) -> bool:
+    """True when ``expr`` reads no signal or array state, i.e. it can
+    be evaluated once at compile time.  ``memo`` (keyed by ``id``) is
+    shared across calls when the caller walks many expressions of one
+    design."""
+    if memo is None:
+        memo = {}
+    key = id(expr)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    if isinstance(expr, (Signal, ArrayRead)):
+        pure = False
+    elif isinstance(expr, Const):
+        pure = True
+    elif isinstance(expr, Slice):
+        pure = expr_is_pure(expr.a, memo)
+    elif isinstance(expr, Concat):
+        pure = all(expr_is_pure(p, memo) for p in expr.parts)
+    elif isinstance(expr, Unop):
+        pure = expr_is_pure(expr.a, memo)
+    elif isinstance(expr, Binop):
+        pure = expr_is_pure(expr.a, memo) and expr_is_pure(expr.b, memo)
+    elif isinstance(expr, Mux):
+        pure = (
+            expr_is_pure(expr.sel, memo)
+            and expr_is_pure(expr.a, memo)
+            and expr_is_pure(expr.b, memo)
+        )
+    else:
+        pure = False
+    memo[key] = pure
+    return pure
+
+
+def fold_constant(expr: Expr, memo: "dict[int, bool] | None" = None) -> "LV | None":
+    """Fold a signal-free subtree to its :class:`LV` value through the
+    reference interpreter (the single source of truth for literal
+    semantics), or ``None`` when the subtree reads state.  Shared by
+    the per-process compiler and the static analyses in
+    :mod:`repro.lint`."""
+    return eval_expr(expr, None) if expr_is_pure(expr, memo) else None
 
 
 class CompiledProcess:
@@ -240,32 +286,7 @@ class _FnCompiler:
     # -- constant folding ----------------------------------------------
 
     def _is_pure(self, expr: Expr) -> bool:
-        key = id(expr)
-        hit = self._pure.get(key)
-        if hit is not None:
-            return hit
-        if isinstance(expr, (Signal, ArrayRead)):
-            pure = False
-        elif isinstance(expr, Const):
-            pure = True
-        elif isinstance(expr, Slice):
-            pure = self._is_pure(expr.a)
-        elif isinstance(expr, Concat):
-            pure = all(self._is_pure(p) for p in expr.parts)
-        elif isinstance(expr, Unop):
-            pure = self._is_pure(expr.a)
-        elif isinstance(expr, Binop):
-            pure = self._is_pure(expr.a) and self._is_pure(expr.b)
-        elif isinstance(expr, Mux):
-            pure = (
-                self._is_pure(expr.sel)
-                and self._is_pure(expr.a)
-                and self._is_pure(expr.b)
-            )
-        else:
-            pure = False
-        self._pure[key] = pure
-        return pure
+        return expr_is_pure(expr, self._pure)
 
     def fold(self, expr: Expr) -> "LV | None":
         """Evaluate a signal-free subtree once, through the reference
@@ -273,7 +294,7 @@ class _FnCompiler:
         key = id(expr)
         if key in self._folded:
             return self._folded[key]
-        lv = eval_expr(expr, None) if self._is_pure(expr) else None
+        lv = fold_constant(expr, self._pure)
         self._folded[key] = lv
         return lv
 

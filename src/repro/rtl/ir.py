@@ -50,6 +50,8 @@ __all__ = [
     "UNARY_OPS",
     "BINARY_OPS",
     "COMPARE_OPS",
+    "walk_stmts",
+    "expr_array_reads",
 ]
 
 
@@ -766,6 +768,46 @@ class Module:
 # ----------------------------------------------------------------------
 # IR walking utilities
 # ----------------------------------------------------------------------
+
+def walk_stmts(stmts: "list[Stmt]"):
+    """Yield every statement in a statement list, pre-order, descending
+    into :class:`If` / :class:`Case` bodies.  The single traversal used
+    by in-place rewrites (saboteur retargeting) and the static linter,
+    so neither can miss a nesting level the other handles."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then)
+            yield from walk_stmts(stmt.orelse)
+        elif isinstance(stmt, Case):
+            for _, body in stmt.cases:
+                yield from walk_stmts(body)
+            yield from walk_stmts(stmt.default)
+
+
+def expr_array_reads(expr: Expr, acc: "list[ArrayRead] | None" = None) -> "list[ArrayRead]":
+    """All :class:`ArrayRead` nodes in an expression tree (pre-order)."""
+    if acc is None:
+        acc = []
+    if isinstance(expr, ArrayRead):
+        acc.append(expr)
+        expr_array_reads(expr.index, acc)
+    elif isinstance(expr, Slice):
+        expr_array_reads(expr.a, acc)
+    elif isinstance(expr, Concat):
+        for p in expr.parts:
+            expr_array_reads(p, acc)
+    elif isinstance(expr, Unop):
+        expr_array_reads(expr.a, acc)
+    elif isinstance(expr, Binop):
+        expr_array_reads(expr.a, acc)
+        expr_array_reads(expr.b, acc)
+    elif isinstance(expr, Mux):
+        expr_array_reads(expr.sel, acc)
+        expr_array_reads(expr.a, acc)
+        expr_array_reads(expr.b, acc)
+    return acc
+
 
 def expr_signals(expr: Expr, acc: "set[Signal] | None" = None) -> "set[Signal]":
     """All signals read by an expression."""
