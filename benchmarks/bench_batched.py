@@ -1,0 +1,171 @@
+"""Batched-execution benchmark: multi-mutant sweep payoff.
+
+Measures, per case-study IP x sensor type, the full mutation campaign
+with serial execution (one simulation per mutant) vs batched sweeps
+(:mod:`repro.mutation.batched`: K mutants riding one base simulation
+with fork-on-divergence and early-kill):
+
+* **per-core throughput** -- mutants judged per second per worker
+  core, serial vs batched (both sides run single-process, so the
+  per-core figure is the raw campaign rate);
+* **speedup** -- serial wall time over batched wall time;
+* **determinism gate** -- every batched report must be
+  **field-identical** to its serial twin (outcome lists included);
+  any drift fails the run loudly (exit 1);
+* **payoff gate** -- the best Counter-campaign speedup must reach
+  ``MIN_COUNTER_SPEEDUP`` (1.5x): Counter sweeps are where the shared
+  base simulation amortises (no stall handshake, re-join after
+  transients), so regressing that payoff fails the run.
+
+Usage::
+
+    python benchmarks/bench_batched.py [--quick] [--repeat N]
+        [--ips plasma,dsp,filter] [--batch K] [--out BENCH_batched.json]
+
+``--quick`` restricts to one timing repetition (the CI smoke
+configuration); the default takes the best of ``--repeat`` runs.
+``--batch`` overrides the sweep width (default: the whole shard, the
+maximum-sharing configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.flow import run_flow                              # noqa: E402
+from repro.ips import CASE_STUDIES, case_study               # noqa: E402
+from repro.mutation.campaign import run_campaign             # noqa: E402
+from repro.reporting import format_table                     # noqa: E402
+
+SENSORS = ("razor", "counter")
+
+#: Payoff gate: the best Counter campaign must be at least this much
+#: faster batched than serial.
+MIN_COUNTER_SPEEDUP = 1.5
+
+
+def _best(fn, repeat):
+    best = None
+    result = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def bench_ip(name, sensor, repeat, batch):
+    spec = case_study(name)
+    flow = run_flow(spec, sensor, run_mutation=False)
+    stimuli = spec.stimulus(spec.mutation_cycles)
+    total = len(flow.injected.mutants)
+    batch_k = batch or total
+
+    def run(**kw):
+        return run_campaign(
+            flow.golden_factory(), flow.injected, stimuli,
+            ip_name=name, sensor_type=sensor, **kw
+        )
+
+    off_s, off = _best(run, repeat)
+    on_s, on = _best(lambda: run(batch_size=batch_k), repeat)
+
+    identical = (on == off and on.outcomes == off.outcomes)
+    return {
+        "ip": spec.title,
+        "sensor": sensor,
+        "mutants": total,
+        "cycles": len(stimuli),
+        "batch_size": batch_k,
+        "serial_s": off_s,
+        "batched_s": on_s,
+        "serial_mutants_per_core_s": total / off_s if off_s else 0.0,
+        "batched_mutants_per_core_s": total / on_s if on_s else 0.0,
+        "speedup": off_s / on_s if on_s else 0.0,
+        "identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: one timing repetition")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per measurement (best-of)")
+    parser.add_argument("--ips", default=None,
+                        help="comma-separated IP subset (default: all)")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="sweep width (default: whole shard)")
+    parser.add_argument("--out", default=None,
+                        help="write measurements to this JSON file "
+                             "(e.g. BENCH_batched.json)")
+    args = parser.parse_args(argv)
+
+    ips = args.ips.split(",") if args.ips else sorted(CASE_STUDIES)
+    repeat = 1 if args.quick else args.repeat
+
+    results = []
+    rows = []
+    for name in ips:
+        for sensor in SENSORS:
+            r = bench_ip(name, sensor, repeat, args.batch)
+            results.append(r)
+            rows.append([
+                r["ip"], r["sensor"], r["mutants"], r["batch_size"],
+                f"{r['serial_mutants_per_core_s']:.1f}",
+                f"{r['batched_mutants_per_core_s']:.1f}",
+                f"{r['speedup']:.2f}x",
+                "yes" if r["identical"] else "NO",
+            ])
+    print(format_table(
+        ["Digital IP", "sensor", "mutants", "batch",
+         "serial (mut/s/core)", "batched (mut/s/core)", "speedup",
+         "identical"],
+        rows,
+        title="Batched multi-mutant sweeps vs serial execution "
+              "(batched reports must stay field-identical)",
+    ))
+
+    deterministic = all(r["identical"] for r in results)
+    counter_speedups = [
+        r["speedup"] for r in results if r["sensor"] == "counter"
+    ]
+    best_counter = max(counter_speedups, default=0.0)
+    payoff_ok = (not counter_speedups
+                 or best_counter >= MIN_COUNTER_SPEEDUP)
+    if not deterministic:
+        print("DETERMINISM VIOLATION: batched report diverged from the "
+              "serial run", file=sys.stderr)
+    if not payoff_ok:
+        print(f"PAYOFF VIOLATION: best counter-campaign speedup "
+              f"{best_counter:.2f}x < {MIN_COUNTER_SPEEDUP}x",
+              file=sys.stderr)
+
+    if args.out:
+        payload = {
+            "benchmark": "batched",
+            "repeat": repeat,
+            "results": results,
+            "deterministic": deterministic,
+            "best_counter_speedup": best_counter,
+            "min_counter_speedup": MIN_COUNTER_SPEEDUP,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+
+    return 0 if deterministic and payoff_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

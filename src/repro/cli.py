@@ -16,13 +16,17 @@ Commands
     ``--format json`` emits the machine-readable reports (findings,
     severity counts, waived entries) instead of the text listing.
 ``mutate <ip> <sensor> [--workers N] [--shard-size M] [--cycles C]
-[--cache-dir DIR] [--no-cache] [--lint-prune]``
+[--batch K] [--cache-dir DIR] [--no-cache] [--lint-prune]``
     Run only the mutation campaign through the sharded engine
     (:mod:`repro.mutation.campaign`).  ``--workers`` distributes the
     mutant shards across worker processes (the report is
     deterministic for any worker count); ``--shard-size`` overrides
     the automatic one-shard-per-worker batching; ``--cycles``
-    overrides the testbench length; ``--lint-prune`` lets the static
+    overrides the testbench length; ``--batch`` executes each shard
+    as batched multi-mutant sweeps of K mutants sharing one base
+    simulation with fork-on-divergence and early-kill
+    (:mod:`repro.mutation.batched`; the report stays
+    field-identical); ``--lint-prune`` lets the static
     mutant analyzer (:mod:`repro.lint.mutants`) synthesise verdicts
     for provably-equivalent and duplicate mutants instead of
     simulating them (the report stays field-identical).  Prints
@@ -218,6 +222,7 @@ def _cmd_mutate(args) -> int:
         mutation_cycles=args.cycles,
         workers=args.workers,
         shard_size=args.shard_size,
+        batch_size=args.batch,
         cache=_resolve_cache(args),
         lint_prune=args.lint_prune,
     )
@@ -228,6 +233,7 @@ def _cmd_mutate(args) -> int:
         ("testbench cycles", report.cycles_per_run),
         ("workers", args.workers),
         ("shard size", args.shard_size if args.shard_size else "auto"),
+        ("batch size", args.batch if args.batch else "serial"),
     ] + mutation_summary_pairs(report) + [
         ("campaign time", f"{report.seconds:.2f} s"),
         ("throughput", f"{report.mutants_per_second:.2f} mutants/s"),
@@ -286,6 +292,7 @@ def _cmd_bench(args) -> int:
             sensors,
             workers=args.workers,
             shard_size=args.shard_size,
+            batch_size=args.batch,
             mutation_cycles=args.cycles,
             scheduler=scheduler,
             progress=progress,
@@ -840,6 +847,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mutants per shard (default: auto)")
     p_mut.add_argument("--cycles", type=int, default=None,
                        help="testbench cycles (default: per-IP value)")
+    p_mut.add_argument("--batch", type=int, default=None,
+                       help="mutants per batched sweep: one base "
+                            "simulation shared per K mutants with "
+                            "fork-on-divergence (default: serial, one "
+                            "simulation per mutant; report unchanged)")
     p_mut.add_argument("--lint-prune", action="store_true",
                        help="statically prune equivalent/duplicate "
                             "mutants (verdicts synthesised, report "
@@ -873,6 +885,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="mutants per shard (default: auto)")
     p_bench.add_argument("--cycles", type=int, default=None,
                          help="testbench cycles (default: per-IP value)")
+    p_bench.add_argument("--batch", type=int, default=None,
+                         help="mutants per batched sweep in every "
+                              "campaign (default: serial; reports "
+                              "unchanged)")
     p_bench.add_argument("--no-progress", action="store_true",
                          help="suppress the live per-shard progress lines")
     p_bench.add_argument("--rtl-validation", action="store_true",

@@ -50,9 +50,11 @@ from dataclasses import dataclass, field
 from repro.abstraction import GeneratedTlm
 
 __all__ = [
+    "CounterMutantJudge",
     "GoldenTrace",
     "MutantOutcome",
     "MutationReport",
+    "RazorMutantJudge",
     "compute_golden_trace",
     "run_mutation_analysis",
 ]
@@ -256,6 +258,7 @@ def run_mutation_analysis(
     tap_order: "list[str] | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
+    batch_size: "int | None" = None,
     scheduler=None,
     progress=None,
     cache=None,
@@ -277,10 +280,14 @@ def run_mutation_analysis(
     ``lint_prune=True`` synthesises verdicts for statically-equivalent
     and duplicate mutants via :mod:`repro.lint.mutants` instead of
     simulating them -- pass a module-aware ``prune_plan`` to enable
-    the frozen-target fold analysis).
+    the frozen-target fold analysis;
+    ``batch_size=K`` executes each shard as batched multi-mutant
+    sweeps of K mutants sharing one base simulation, forking a mutant
+    into its own simulation only once it diverges --
+    :mod:`repro.mutation.batched`).
     The merged report is deterministic -- byte-identical outcomes and
-    percentages for any ``workers`` / ``shard_size`` / cache state /
-    ``lint_prune`` combination.
+    percentages for any ``workers`` / ``shard_size`` / ``batch_size``
+    / cache state / ``lint_prune`` combination.
 
     ``golden_factory()`` must return a fresh non-injected model;
     ``injected`` is the ADAM-generated model description (a fresh
@@ -303,6 +310,7 @@ def run_mutation_analysis(
         tap_order=tap_order,
         workers=workers,
         shard_size=shard_size,
+        batch_size=batch_size,
         scheduler=scheduler,
         progress=progress,
         cache=cache,
@@ -311,22 +319,218 @@ def run_mutation_analysis(
     )
 
 
-def _run_razor_mutant(index, spec, mutant, stimuli, recovery, golden):
-    """Evaluate one Razor mutant against the memoised golden trace."""
-    functional_ports = golden.functional_ports
-    recovery_bit = 1 if recovery else 0
+class RazorMutantJudge:
+    """Resumable per-cycle verdict accumulator for one Razor mutant.
 
-    injected_stream = []
-    injected_full = []
-    error_seen = False
-    killed = False
-    first_div = None
-    # Stall handshake: re-present the input whose edge was stalled.
-    pending = list(stimuli)
-    position = 0
+    The monolithic per-mutant loop is factored into observation
+    (:meth:`observe`, one call per driven cycle) and finalisation
+    (:meth:`finish`), so the batched sweep
+    (:mod:`repro.mutation.batched`) can feed a mutant base-simulation
+    outputs while it is attached and its own outputs after it forks --
+    the judge cannot tell the difference, which is what makes batched
+    and serial verdicts field-identical.
+
+    :meth:`settled` reports when every verdict field is already fixed
+    (killed with its ``first_divergence``, error seen, and -- under
+    recovery -- the golden stream fully recovered), enabling the
+    early-kill cut: generated razor banks stall at most every other
+    cycle (one-cycle cooldown), so a settled run can never reach the
+    stall-budget timeout that the skipped tail would otherwise have to
+    rule out.
+    """
+
+    __slots__ = (
+        "index", "spec", "golden", "recovery", "calls", "error_seen",
+        "killed", "first_divergence", "_cmp_done", "_sub_pos",
+    )
+
+    def __init__(self, index, spec, golden, recovery):
+        self.index = index
+        self.spec = spec
+        self.golden = golden
+        self.recovery = recovery
+        self.calls = 0
+        self.error_seen = False
+        self.killed = False
+        self.first_divergence = None
+        #: Lockstep compare stops at the first mismatch, matching the
+        #: serial runner's scan (later cycles cannot move the verdict).
+        self._cmp_done = False
+        #: Greedy two-pointer progress of the corrected check: how much
+        #: of ``golden.functional`` has been matched, in order, inside
+        #: the observed stream (incremental :func:`_is_subsequence`).
+        self._sub_pos = 0
+
+    def observe(self, outs, functional=None) -> None:
+        """Record one observed output vector (cycle ``self.calls``)."""
+        golden = self.golden
+        i = self.calls
+        self.calls = i + 1
+        if outs.get("razor_err", 0):
+            self.error_seen = True
+        if not self._cmp_done and i < len(golden.full):
+            if outs != golden.full[i]:
+                self.killed = True
+                self.first_divergence = i
+                self._cmp_done = True
+        if self._sub_pos < len(golden.functional):
+            if functional is None:
+                functional = _functional(outs, golden.functional_ports)
+            if functional == golden.functional[self._sub_pos]:
+                self._sub_pos += 1
+
+    def settled(self) -> bool:
+        """True once no future observation can change any verdict
+        field: the kill (and its ``first_divergence``) is recorded, the
+        error flag has risen, and -- when recovery is judged -- the
+        golden stream has already been recovered in full."""
+        return (
+            self.killed
+            and self._cmp_done
+            and self.error_seen
+            and (
+                not self.recovery
+                or self._sub_pos >= len(self.golden.functional)
+            )
+        )
+
+    def finish(self, timed_out: bool):
+        """Close the run and produce the :class:`MutantOutcome`."""
+        golden = self.golden
+        killed = self.killed
+        if not timed_out and self.calls != len(golden.full):
+            # A completed run yields at least one output per stimulus;
+            # a short stream is itself an observable divergence.  An
+            # early-killed run is already killed, so the cut cannot
+            # reach here with ``killed`` unset.
+            killed = True
+        corrected = None
+        if self.recovery and not timed_out:
+            # Corrected: the golden stream survives inside the
+            # recovered stream (stall repeats aside) and the error was
+            # flagged.  A timed-out run never drove every stimulus, so
+            # it cannot be judged either way and stays out of
+            # corrected_pct.
+            corrected = (
+                self.error_seen
+                and self._sub_pos >= len(golden.functional)
+            )
+        return MutantOutcome(
+            index=self.index,
+            kind=self.spec.kind,
+            target=self.spec.target,
+            register=self.spec.register,
+            hf_tick=self.spec.hf_tick,
+            killed=killed,
+            detected=self.error_seen,
+            error_risen=self.error_seen,
+            corrected=corrected,
+            meas_val=None,
+            first_divergence=self.first_divergence,
+            timed_out=timed_out,
+        )
+
+
+class CounterMutantJudge:
+    """Resumable per-cycle verdict accumulator for one Counter mutant.
+
+    Counter campaigns have no stall handshake (one output per
+    stimulus), so the judge is a plain fold over the output stream.
+    There is deliberately **no** early-kill analogue: ``meas_val``
+    reports the *last* non-zero measurement, so every remaining cycle
+    can still move the outcome.
+    """
+
+    __slots__ = (
+        "index", "spec", "golden", "lo", "threshold", "calls", "killed",
+        "first_divergence", "detected", "risen", "meas_val",
+    )
+
+    def __init__(self, index, spec, golden, *, lo, threshold):
+        self.index = index
+        self.spec = spec
+        self.golden = golden
+        self.lo = lo
+        self.threshold = threshold
+        self.calls = 0
+        self.killed = False
+        self.first_divergence = None
+        self.detected = False
+        self.risen = False
+        self.meas_val = None
+
+    def observe(self, outs, functional=None) -> None:
+        """Record one observed output vector (cycle ``self.calls``)."""
+        golden = self.golden
+        i = self.calls
+        self.calls = i + 1
+        if functional is None:
+            functional = _functional(outs, golden.functional_ports)
+        if functional != golden.functional[i]:
+            if self.first_divergence is None:
+                self.first_divergence = i
+            self.killed = True
+        meas = (outs.get("meas_val", 0) >> self.lo) & 0xFF
+        if meas:
+            self.detected = True
+            self.meas_val = meas
+            if meas == self.spec.hf_tick:
+                # Exact measurement of the injected delay: the sensor
+                # observed the mutant -- this is the paper's Counter
+                # kill criterion (MEAS_VAL != 0 for the activated
+                # mutant).
+                self.killed = True
+            if meas > self.threshold:
+                self.risen = True
+        if outs.get("metric_ok", 1) == 0:
+            self.risen = True
+
+    def finish(self):
+        """Close the run and produce the :class:`MutantOutcome`."""
+        return MutantOutcome(
+            index=self.index,
+            kind=self.spec.kind,
+            target=self.spec.target,
+            register=self.spec.register,
+            hf_tick=self.spec.hf_tick,
+            killed=self.killed,
+            detected=self.detected,
+            error_risen=self.risen,
+            corrected=None,
+            meas_val=self.meas_val,
+            first_divergence=self.first_divergence,
+            timed_out=False,
+        )
+
+
+def _drive_razor(
+    mutant,
+    stimuli,
+    recovery_bit: int,
+    judge: RazorMutantJudge,
+    *,
+    position: int = 0,
+    budget: "int | None" = None,
+    early_kill: bool = False,
+) -> bool:
+    """Drive a Razor mutant through the stall handshake, feeding every
+    observed output to ``judge``.  Returns whether the stall budget
+    timed out.
+
+    ``position`` / ``budget`` resume a run mid-stream (a mutant forked
+    off a batched sweep at cycle ``position`` has already been judged
+    for the shared prefix and has ``position`` fewer budget units
+    left -- the prefix is stall-free, since a stall requires a razor
+    error and the base simulation never raises one).  With
+    ``early_kill`` the drive stops as soon as the judge is settled;
+    the run then did not time out by construction (see
+    :meth:`RazorMutantJudge.settled`).
+    """
+    pending = stimuli
+    if budget is None:
+        budget = 3 * len(stimuli) + 8
     prev_inputs = None
     stalled_next = False
-    budget = 3 * len(stimuli) + 8
     # A stall on the final stimulus still needs its re-presentation,
     # otherwise the recovered last output is never observed.
     while (position < len(pending) or stalled_next) and budget:
@@ -337,108 +541,39 @@ def _run_razor_mutant(index, spec, mutant, stimuli, recovery, golden):
             inputs = pending[position]
             position += 1
         outs = mutant.b_transport({**inputs, "razor_r": recovery_bit})
-        if outs.get("razor_err", 0):
-            error_seen = True
+        judge.observe(outs)
         stalled_next = bool(outs.get("razor_stall", 0))
-        injected_stream.append(_functional(outs, functional_ports))
-        injected_full.append(outs)
         prev_inputs = inputs
-
+        if early_kill and judge.settled():
+            return False
     # Budget exhausted mid-stall: stimuli were never consumed, or a
     # trailing re-presentation was still pending.  That is a driver
     # timeout, not an observation -- the truncated tail must not count
     # as a kill by length mismatch, nor be judged for correction.
-    timed_out = (position < len(pending) or stalled_next) and not budget
+    return (position < len(pending) or stalled_next) and not budget
 
-    # Kill check: any observable divergence under lockstep alignment.
-    # The sensor outputs (E, stall) are primary outputs of the
-    # augmented IP, so a raised error alone makes the mutant
-    # observable -- the paper's "if the outputs differ" criterion.
-    for i, expected in enumerate(golden.full):
-        if i >= len(injected_full):
-            # Only reachable after a timeout (a completed run always
-            # yields at least one output per stimulus); the truncated
-            # tail is not evidence of a kill.
-            break
-        if injected_full[i] != expected:
-            killed = True
-            first_div = i
-            break
-    if not timed_out and len(injected_full) != len(golden.full):
-        killed = True
 
-    corrected = None
-    if recovery and not timed_out:
-        # Corrected: the golden stream survives inside the recovered
-        # stream (stall repeats aside) and the error was flagged.  A
-        # timed-out run never drove every stimulus, so it cannot be
-        # judged either way and stays out of corrected_pct.
-        corrected = error_seen and _is_subsequence(
-            list(golden.functional), injected_stream
-        )
-    return MutantOutcome(
-        index=index,
-        kind=spec.kind,
-        target=spec.target,
-        register=spec.register,
-        hf_tick=spec.hf_tick,
-        killed=killed,
-        detected=error_seen,
-        error_risen=error_seen,
-        corrected=corrected,
-        meas_val=None,
-        first_divergence=first_div,
-        timed_out=timed_out,
+def _run_razor_mutant(index, spec, mutant, stimuli, recovery, golden):
+    """Evaluate one Razor mutant against the memoised golden trace."""
+    judge = RazorMutantJudge(index, spec, golden, recovery)
+    timed_out = _drive_razor(
+        mutant, list(stimuli), 1 if recovery else 0, judge
     )
+    return judge.finish(timed_out)
 
 
 def _run_counter_mutant(index, spec, mutant, stimuli, tap_order, golden):
     """Evaluate one Counter mutant against the memoised golden trace."""
-    tap_index = tap_order.index(spec.register)
-    lo = 8 * tap_index
-
-    killed = False
-    first_div = None
-    detected = False
-    risen = False
-    measured = None
-    for i, inputs in enumerate(stimuli):
-        mutant_outs = mutant.b_transport(dict(inputs))
-        if _functional(
-            mutant_outs, golden.functional_ports
-        ) != golden.functional[i]:
-            if first_div is None:
-                first_div = i
-            killed = True
-        meas_bus = mutant_outs.get("meas_val", 0)
-        meas = (meas_bus >> lo) & 0xFF
-        if meas:
-            detected = True
-            measured = meas
-            if meas == spec.hf_tick:
-                # Exact measurement of the injected delay: the sensor
-                # observed the mutant -- this is the paper's Counter
-                # kill criterion (MEAS_VAL != 0 for the activated
-                # mutant).
-                killed = True
-        if meas and meas > _lut_threshold(mutant, spec.register):
-            risen = True
-        if mutant_outs.get("metric_ok", 1) == 0:
-            risen = True
-    return MutantOutcome(
-        index=index,
-        kind=spec.kind,
-        target=spec.target,
-        register=spec.register,
-        hf_tick=spec.hf_tick,
-        killed=killed,
-        detected=detected,
-        error_risen=risen,
-        corrected=None,
-        meas_val=measured,
-        first_divergence=first_div,
-        timed_out=False,
+    judge = CounterMutantJudge(
+        index,
+        spec,
+        golden,
+        lo=8 * tap_order.index(spec.register),
+        threshold=_lut_threshold(mutant, spec.register),
     )
+    for inputs in stimuli:
+        judge.observe(mutant.b_transport(dict(inputs)))
+    return judge.finish()
 
 
 def _lut_threshold(model, register: str) -> int:

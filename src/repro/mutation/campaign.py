@@ -77,6 +77,13 @@ class CampaignShard:
     sensor_type: str
     recovery: bool
     tap_order: "tuple[str, ...]"
+    #: Execution mode: ``"serial"`` runs one full simulation per
+    #: mutant; ``"batched"`` runs sweeps of ``batch_size`` mutants
+    #: sharing one base simulation with fork-on-divergence
+    #: (:mod:`repro.mutation.batched`).  Batched and serial shards
+    #: produce field-identical outcomes.
+    exec_strategy: str = "serial"
+    batch_size: "int | None" = None
 
     #: A TLM shard is always safe to pickle to a worker process.
     inline_only = False
@@ -91,6 +98,10 @@ class CampaignShard:
         for ``workers=1``).  The generated model class is compiled once
         per process via the :meth:`GeneratedTlm.compiled_class` cache;
         each mutant then pays only construction + simulation."""
+        if self.exec_strategy == "batched":
+            from .batched import run_batched_shard
+
+            return run_batched_shard(self)
         stimuli = list(self.stimuli)
         tap_order = list(self.tap_order)
         specs = self.injected.mutants
@@ -314,6 +325,7 @@ def prepare_campaign(
     tap_order: "list[str] | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
+    batch_size: "int | None" = None,
     cache=None,
     lint_prune: bool = False,
     prune_plan=None,
@@ -329,7 +341,10 @@ def prepare_campaign(
     :class:`~repro.mutation.cache.ResultCache`) for already-known
     verdicts, and partitions the remaining mutant indices into
     :class:`CampaignShard` work units sized for ``workers`` /
-    ``shard_size``.
+    ``shard_size``.  ``batch_size=K`` marks the shards for batched
+    execution (sweeps of K mutants sharing one base simulation --
+    :mod:`repro.mutation.batched`); verdicts and cache write-back keys
+    are identical either way.
 
     With ``lint_prune=True`` the static mutant analyzer
     (:func:`repro.lint.mutants.plan_pruning`, or a precomputed
@@ -496,6 +511,8 @@ def prepare_campaign(
             sensor_type=sensor_type,
             recovery=recovery,
             tap_order=taps,
+            exec_strategy="batched" if batch_size else "serial",
+            batch_size=batch_size or None,
         )
         for indices in _shard_sequence(miss_indices, workers, shard_size)
     )
@@ -530,6 +547,7 @@ def run_campaign(
     tap_order: "list[str] | None" = None,
     workers: int = 1,
     shard_size: "int | None" = None,
+    batch_size: "int | None" = None,
     scheduler=None,
     progress=None,
     cache=None,
@@ -550,6 +568,12 @@ def run_campaign(
         stimuli: per-cycle ``name -> int`` input vectors.
         workers / shard_size: shard sizing (``shard_size`` overrides
             the automatic one-shard-per-worker batching).
+        batch_size: execute each shard as batched sweeps of this many
+            mutants sharing one base simulation, with
+            fork-on-divergence and early-kill
+            (:mod:`repro.mutation.batched`); ``None`` keeps the
+            one-simulation-per-mutant serial path.  Verdicts are
+            field-identical either way.
         scheduler: a
             :class:`~repro.mutation.scheduler.CampaignScheduler` to
             reuse one persistent worker pool across many campaigns
@@ -576,9 +600,9 @@ def run_campaign(
         ``lint_prune`` was on.
 
     Determinism: the report is byte-identical on every scored field
-    for any ``workers`` / ``shard_size`` / ``scheduler`` combination,
-    for any cache state (cold, warm, or partial), and for
-    ``lint_prune`` on vs off.
+    for any ``workers`` / ``shard_size`` / ``batch_size`` /
+    ``scheduler`` combination, for any cache state (cold, warm, or
+    partial), and for ``lint_prune`` on vs off.
     """
     from .scheduler import _ephemeral_width, _leased_scheduler, stream_prepared
 
@@ -593,6 +617,7 @@ def run_campaign(
         tap_order=tap_order,
         workers=workers if scheduler is None else scheduler.workers,
         shard_size=shard_size,
+        batch_size=batch_size,
         cache=cache,
         lint_prune=lint_prune,
         prune_plan=prune_plan,

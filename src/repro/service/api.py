@@ -181,6 +181,8 @@ def encode_shard(shard) -> dict:
         "sensor_type": shard.sensor_type,
         "recovery": shard.recovery,
         "tap_order": list(shard.tap_order),
+        "exec_strategy": shard.exec_strategy,
+        "batch_size": shard.batch_size,
     }
 
 
@@ -201,6 +203,10 @@ def decode_shard(payload: dict):
         sensor_type=payload["sensor_type"],
         recovery=payload["recovery"],
         tap_order=tuple(payload["tap_order"]),
+        # Older coordinators omit the batching fields: default to the
+        # serial path they expect.
+        exec_strategy=payload.get("exec_strategy", "serial"),
+        batch_size=payload.get("batch_size"),
     )
 
 

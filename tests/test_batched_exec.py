@@ -1,0 +1,667 @@
+"""Execution-equivalence suite for batched multi-mutant sweeps.
+
+The batched execution mode (:mod:`repro.mutation.batched`) runs K
+mutants per simulation sweep -- attached mutants ride one base
+simulation, fork on their first divergence, and Razor forks stop early
+once their verdict is settled.  Its contract is *field identity*: for
+any batch size, worker count, shard size, cache state and fault plan,
+the merged :class:`~repro.mutation.MutationReport` is equal on every
+scored field to the serial one -- same ``first_divergence``, same
+``timed_out``, same cache write-back keys.
+
+This module locks that contract down:
+
+* field identity across all three case-study IPs x both sensor types
+  x batch sizes {1, 3, all} x workers {1, 2} x cold/warm cache;
+* randomized-design lockstep (Hypothesis-built datapaths, in the
+  style of ``tests/test_compiled_kernel.py``);
+* early-kill semantics at the :func:`_drive_razor` level -- identical
+  verdict fields, and never a ``timed_out`` misreport when the stall
+  budget would only have been exhausted in skipped tail cycles;
+* fork isolation -- the shared :class:`~repro.mutation.GoldenTrace`
+  is bit-identical before and after a batched sweep;
+* interplay with lint-pruning (deferred duplicate clones) and with a
+  seeded worker-crash fault plan;
+* the kernel-level :meth:`~repro.rtl.Simulation.snapshot_state` /
+  ``restore_state`` pair the fork machinery builds on.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abstraction import MutantSpec, generate_tlm
+from repro.faults import FaultPlan, active_plan
+from repro.flow import run_flow
+from repro.ips import CASE_STUDIES, case_study
+from repro.mutation import (
+    GoldenTrace,
+    ResultCache,
+    CampaignScheduler,
+    compute_golden_trace,
+    inject_mutants,
+    run_campaign,
+)
+from repro.mutation.analysis import (
+    RazorMutantJudge,
+    _drive_razor,
+    _run_counter_mutant,
+    _run_razor_mutant,
+)
+from repro.mutation.batched import run_batched_shard
+from repro.mutation.cache import encode_golden_trace
+from repro.mutation.campaign import prepare_campaign
+from repro.rtl import Assign, If, Simulation, Module, const
+from repro.sensors import insert_sensors
+from repro.sta import analyze, bin_critical_paths
+from repro.synth import synthesize
+
+#: Reduced testbench lengths: long enough to exercise forks and
+#: re-joins on every IP, short enough for the full matrix.
+REDUCED = {"plasma": 40, "dsp": 48, "filter": 96}
+
+IPS = sorted(CASE_STUDIES)
+SENSORS = ("razor", "counter")
+
+_case_cache: dict = {}
+
+
+def case_campaign(ip, sensor):
+    """(flow, stimuli, serial baseline report) for one IP x sensor,
+    computed once per test session."""
+    key = (ip, sensor)
+    if key not in _case_cache:
+        spec = case_study(ip)
+        flow = run_flow(spec, sensor, run_mutation=False)
+        stim = spec.stimulus(REDUCED[ip])
+        baseline = run_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name=ip, sensor_type=sensor, workers=1,
+        )
+        _case_cache[key] = (flow, stim, baseline)
+    return _case_cache[key]
+
+
+def assert_reports_identical(report, baseline):
+    """Field identity on the scored report plus outcome-by-outcome
+    equality (covers ``first_divergence`` / ``timed_out`` / every
+    verdict field of every mutant)."""
+    assert report == baseline
+    assert report.outcomes == baseline.outcomes
+    assert report.cycles_per_run == baseline.cycles_per_run
+
+
+@pytest.fixture(scope="module")
+def sched2():
+    """One persistent 2-worker pool shared by every workers=2 case."""
+    with CampaignScheduler(workers=2) as scheduler:
+        yield scheduler
+
+
+# ----------------------------------------------------------------------
+# Synthetic IP (fast fixtures for the judge/fork-level tests)
+# ----------------------------------------------------------------------
+
+def build_ip():
+    m = Module("batch_ip")
+    clk = m.input("clk")
+    din = m.input("din", 8)
+    en = m.input("en")
+    acc = m.signal("acc", 8)
+    scaled = m.signal("scaled", 8)
+    out_acc = m.output("out_acc", 8)
+    out_scaled = m.output("out_scaled", 8)
+    m.sync("p_acc", clk, [If(en.eq(1), [Assign(acc, acc + din)])])
+    m.sync("p_scaled", clk, [Assign(scaled, acc * const(5, 8))])
+    m.comb("p_oa", [Assign(out_acc, acc)])
+    m.comb("p_os", [Assign(out_scaled, scaled)])
+    return m, clk
+
+
+def augment(module_factory, sensor_type):
+    m, clk = module_factory()
+    report = analyze(synthesize(m), clock_period_ps=1000)
+    critical = bin_critical_paths(report, threshold_ps=1e9)
+    return insert_sensors(m, clk, critical, sensor_type=sensor_type)
+
+
+def stimulus(n=24, seed=2):
+    rng = random.Random(seed)
+    return [{"din": rng.randrange(1, 256), "en": 1} for _ in range(n)]
+
+
+def synthetic_campaign(sensor, module_factory=build_ip, stim=None):
+    """(golden GeneratedTlm, injected GeneratedTlm, stimuli)."""
+    aug = augment(module_factory, sensor)
+    golden = generate_tlm(aug.module, variant="hdtlib", augmented=aug)
+    injected = inject_mutants(aug, variant="hdtlib")
+    return golden, injected, stim if stim is not None else stimulus()
+
+
+# ----------------------------------------------------------------------
+# Field identity: IPs x sensors x batch x workers x cache state
+# ----------------------------------------------------------------------
+
+class TestFieldIdentity:
+    @pytest.mark.parametrize("ip", IPS)
+    @pytest.mark.parametrize("sensor", SENSORS)
+    @pytest.mark.parametrize("batch", [1, 3, "all"])
+    def test_cold_then_warm_cache(self, ip, sensor, batch):
+        flow, stim, baseline = case_campaign(ip, sensor)
+        batch_k = baseline.total if batch == "all" else batch
+        cache = ResultCache(None)
+        cold = run_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name=ip, sensor_type=sensor,
+            batch_size=batch_k, cache=cache,
+        )
+        assert_reports_identical(cold, baseline)
+        assert cold.cache_misses == baseline.total
+        warm = run_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name=ip, sensor_type=sensor,
+            batch_size=batch_k, cache=cache,
+        )
+        assert_reports_identical(warm, baseline)
+        # Batched write-back produced the exact keys a warm serial (or
+        # batched) rerun replays from: everything hits.
+        assert warm.cache_hits == baseline.total
+
+    @pytest.mark.parametrize("ip", IPS)
+    @pytest.mark.parametrize("sensor", SENSORS)
+    @pytest.mark.parametrize("batch", [1, 3, "all"])
+    def test_two_workers(self, ip, sensor, batch, sched2):
+        flow, stim, baseline = case_campaign(ip, sensor)
+        batch_k = baseline.total if batch == "all" else batch
+        report = run_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name=ip, sensor_type=sensor,
+            shard_size=2, batch_size=batch_k, scheduler=sched2,
+        )
+        assert_reports_identical(report, baseline)
+
+    @pytest.mark.parametrize("sensor", SENSORS)
+    def test_partial_cache_mixes_replay_and_batch(self, sensor):
+        """A cache warmed by a *subset* shard leaves non-contiguous
+        miss indices; batched sweeps over them stay identical."""
+        flow, stim, baseline = case_campaign("dsp", sensor)
+        # Seed every other mutant's verdict from a fully-warm serial
+        # cache, leaving a non-contiguous miss set for the batched run.
+        cache = ResultCache(None)
+        full_cache = ResultCache(None)
+        run_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name="dsp", sensor_type=sensor, cache=full_cache,
+        )
+        with_keys = prepare_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name="dsp", sensor_type=sensor, cache=full_cache,
+        )
+        assert with_keys.cache_keys is not None
+        for i, key in enumerate(with_keys.cache_keys):
+            if i % 2 == 0:
+                payload = full_cache.get(key)
+                assert payload is not None
+                cache.put(key, payload)
+        report = run_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name="dsp", sensor_type=sensor,
+            cache=cache, batch_size=4,
+        )
+        assert_reports_identical(report, baseline)
+        assert report.cache_hits == (baseline.total + 1) // 2
+
+    @pytest.mark.parametrize("sensor", SENSORS)
+    def test_synthetic_ip_every_batch_size(self, sensor):
+        """Exhaustive batch-size scan on the fast synthetic IP."""
+        golden, injected, stim = synthetic_campaign(sensor)
+        baseline = run_campaign(
+            golden, injected, stim, sensor_type=sensor
+        )
+        for batch in range(1, len(injected.mutants) + 2):
+            report = run_campaign(
+                golden, injected, stim,
+                sensor_type=sensor, batch_size=batch,
+            )
+            assert_reports_identical(report, baseline)
+
+
+# ----------------------------------------------------------------------
+# Randomized-design lockstep (test_compiled_kernel style)
+# ----------------------------------------------------------------------
+
+def _random_module_factory(shape, inits, consts):
+    def factory():
+        m = Module("rand_batch_ip")
+        clk = m.input("clk")
+        din = m.input("din", 8)
+        en = m.input("en")
+        regs = [
+            m.signal(f"r{k}", 8, init=inits[k])
+            for k in range(len(inits))
+        ]
+        for k, reg in enumerate(regs):
+            src = regs[k - 1] if k else din
+            kind = shape[k]
+            if kind == 0:
+                body = [Assign(reg, reg + src)]
+            elif kind == 1:
+                body = [Assign(reg, reg ^ (src + const(consts[k], 8)))]
+            elif kind == 2:
+                body = [If(en.eq(1), [Assign(reg, src * const(consts[k], 8))])]
+            else:
+                body = [
+                    If(src.eq(0), [Assign(reg, const(consts[k], 8))],
+                       [Assign(reg, reg + const(1, 8))]),
+                ]
+            m.sync(f"p_r{k}", clk, body)
+        for k, reg in enumerate(regs):
+            out = m.output(f"o{k}", 8)
+            m.comb(f"p_o{k}", [Assign(out, reg)])
+        return m, clk
+    return factory
+
+
+@given(st.data())
+@settings(max_examples=8, deadline=None)
+def test_prop_random_design_batched_equals_serial(data):
+    nregs = data.draw(st.integers(2, 3), label="nregs")
+    shape = [data.draw(st.integers(0, 3), label=f"shape{k}")
+             for k in range(nregs)]
+    inits = [data.draw(st.integers(0, 255), label=f"init{k}")
+             for k in range(nregs)]
+    consts = [data.draw(st.integers(1, 255), label=f"const{k}")
+              for k in range(nregs)]
+    sensor = data.draw(st.sampled_from(SENSORS), label="sensor")
+    stim = [
+        {"din": data.draw(st.integers(0, 255), label=f"din{i}"),
+         "en": data.draw(st.integers(0, 1), label=f"en{i}")}
+        for i in range(data.draw(st.integers(6, 14), label="cycles"))
+    ]
+    factory = _random_module_factory(shape, inits, consts)
+    golden, injected, stim = synthetic_campaign(
+        sensor, module_factory=factory, stim=stim
+    )
+    baseline = run_campaign(golden, injected, stim, sensor_type=sensor)
+    for batch in (2, len(injected.mutants)):
+        report = run_campaign(
+            golden, injected, stim, sensor_type=sensor, batch_size=batch
+        )
+        assert_reports_identical(report, baseline)
+
+
+# ----------------------------------------------------------------------
+# Early-kill semantics
+# ----------------------------------------------------------------------
+
+class _ScriptModel:
+    """Fake TLM model emitting a scripted output per call; the script's
+    last entry repeats forever."""
+
+    PORTS_OUT = {"q": 8, "razor_err": 1, "razor_stall": 1}
+
+    def __init__(self, script):
+        self._script = script
+        self._calls = 0
+
+    def b_transport(self, inputs=None):
+        out = self._script[min(self._calls, len(self._script) - 1)]
+        self._calls += 1
+        return dict(out)
+
+
+SPEC = MutantSpec("min", "t", 0, "r")
+
+
+def _drive_both(model_factory, stimuli, golden):
+    """(serial outcome + calls, early-kill outcome + calls)."""
+    results = []
+    for early in (False, True):
+        model = model_factory()
+        judge = RazorMutantJudge(0, SPEC, golden, True)
+        timed_out = _drive_razor(
+            model, stimuli, 1, judge, early_kill=early
+        )
+        results.append((judge.finish(timed_out), model._calls))
+    return results
+
+
+class TestEarlyKill:
+    def test_generated_mutants_identical_with_fewer_calls(self):
+        """Seeded fixture: every generated Razor mutant produces the
+        exact serial verdict under early-kill -- any changed field
+        fails here."""
+        golden_gen, injected, stim = synthetic_campaign("razor")
+        golden = compute_golden_trace(
+            golden_gen.instantiate(), stim,
+            sensor_type="razor", recovery=True,
+        )
+        cut_calls = total_calls = 0
+        for index, spec in enumerate(injected.mutants):
+            calls = []
+            outcomes = []
+            for early in (False, True):
+                judge = RazorMutantJudge(index, spec, golden, True)
+                timed_out = _drive_razor(
+                    _instantiate(injected, index), stim, 1, judge,
+                    early_kill=early,
+                )
+                outcomes.append(judge.finish(timed_out))
+                calls.append(judge.calls)
+            assert outcomes[1] == outcomes[0]
+            total_calls += calls[0]
+            cut_calls += calls[1]
+        assert cut_calls <= total_calls
+
+    def test_tail_only_budget_exhaustion_not_misreported(self):
+        """A mutant whose stall budget would be exhausted only in
+        cycles the early-kill skipped must not be reported
+        ``timed_out``: the verdict was already settled."""
+        n = 4
+        stimuli = [{"d": i} for i in range(n)]
+        golden = compute_golden_trace(
+            _ScriptModel([{"q": 0, "razor_err": 0, "razor_stall": 0}]),
+            stimuli, sensor_type="razor", recovery=True,
+        )
+        # Functional output matches the golden stream every call (so
+        # recovery completes), the error flag diverges immediately, and
+        # the stall never releases -- the serial drive burns its whole
+        # budget re-presenting the first vector.
+        factory = lambda: _ScriptModel(
+            [{"q": 0, "razor_err": 1, "razor_stall": 1}]
+        )
+        (serial, serial_calls), (early, early_calls) = _drive_both(
+            factory, stimuli, golden
+        )
+        assert serial.timed_out            # the skipped tail did time out
+        assert not early.timed_out         # ... but the verdict was settled
+        assert early.killed and serial.killed
+        assert early.first_divergence == serial.first_divergence == 0
+        assert early.detected and early.error_risen
+        assert early_calls == n            # recovery needed n matches
+        assert serial_calls == 3 * n + 8   # full budget burned
+
+    def test_no_settle_without_error_flag(self):
+        """A divergence without a risen error never settles the judge:
+        early-kill must drive the full stream (fields identical)."""
+        stimuli = [{"d": i} for i in range(5)]
+        golden = compute_golden_trace(
+            _ScriptModel([{"q": 0, "razor_err": 0, "razor_stall": 0}]),
+            stimuli, sensor_type="razor", recovery=True,
+        )
+        factory = lambda: _ScriptModel(
+            [{"q": 9, "razor_err": 0, "razor_stall": 0}]
+        )
+        (serial, serial_calls), (early, early_calls) = _drive_both(
+            factory, stimuli, golden
+        )
+        assert early == serial
+        assert early_calls == serial_calls == len(stimuli)
+
+    def test_settled_run_cut_short_keeps_all_fields(self):
+        """Diverge + error + instant recovery: early-kill stops as soon
+        as the golden stream is recovered, with identical fields."""
+        stimuli = [{"d": i} for i in range(6)]
+        golden = compute_golden_trace(
+            _ScriptModel([{"q": 0, "razor_err": 0, "razor_stall": 0}]),
+            stimuli, sensor_type="razor", recovery=True,
+        )
+        factory = lambda: _ScriptModel(
+            [{"q": 0, "razor_err": 1, "razor_stall": 1}]
+            + [{"q": 0, "razor_err": 0, "razor_stall": 0}] * 20
+        )
+        (serial, serial_calls), (early, early_calls) = _drive_both(
+            factory, stimuli, golden
+        )
+        assert early == serial
+        assert not early.timed_out
+        assert early_calls <= serial_calls
+
+
+def _instantiate(injected, index):
+    mutant = injected.instantiate()
+    mutant.activate_mutant(index)
+    return mutant
+
+
+# ----------------------------------------------------------------------
+# Fork isolation
+# ----------------------------------------------------------------------
+
+class TestForkIsolation:
+    @pytest.mark.parametrize("sensor", SENSORS)
+    def test_golden_trace_bit_identical_after_sweep(self, sensor):
+        golden, injected, stim = synthetic_campaign(sensor)
+        prepared = prepare_campaign(
+            golden, injected, stim,
+            sensor_type=sensor, batch_size=len(injected.mutants),
+        )
+        (shard,) = prepared.shards
+        before = json.dumps(
+            encode_golden_trace(shard.golden), sort_keys=True
+        )
+        stim_before = tuple(dict(v) for v in shard.stimuli)
+        outcomes = shard.run()
+        after = json.dumps(
+            encode_golden_trace(shard.golden), sort_keys=True
+        )
+        assert before == after
+        assert tuple(dict(v) for v in shard.stimuli) == stim_before
+        assert len(outcomes) == len(shard.indices)
+
+    def test_sweep_outputs_do_not_alias_golden_dicts(self):
+        """The full-output dicts the judges observe are the model's
+        own; mutating an outcome path never writes into the trace."""
+        golden, injected, stim = synthetic_campaign("razor")
+        trace = compute_golden_trace(
+            golden.instantiate(), stim,
+            sensor_type="razor", recovery=True,
+        )
+        snapshot = [dict(o) for o in trace.full]
+        prepared = prepare_campaign(
+            golden, injected, stim, sensor_type="razor", batch_size=3
+        )
+        for shard in prepared.shards:
+            shard.run()
+        assert [dict(o) for o in trace.full] == snapshot
+
+
+# ----------------------------------------------------------------------
+# Interplay: lint-prune and fault plans
+# ----------------------------------------------------------------------
+
+class TestInterplay:
+    @pytest.mark.parametrize("sensor", SENSORS)
+    def test_batch_composed_with_lint_prune(self, sensor):
+        from repro.lint import plan_pruning
+
+        flow, stim, baseline = case_campaign("dsp", sensor)
+        # Module-aware plan, exactly as run_flow builds it -- this is
+        # the variant that actually defers duplicate clones.
+        plan = plan_pruning(
+            flow.injected, sensor, module=flow.augmented.module
+        )
+        report = run_campaign(
+            flow.tlm_optimized, flow.injected, stim,
+            ip_name="dsp", sensor_type=sensor,
+            batch_size=4, lint_prune=True, prune_plan=plan,
+        )
+        assert_reports_identical(report, baseline)
+        # Prune accounting is present either way; when the analyzer
+        # found duplicates, their clones expanded off *batched* shard
+        # results without changing a field.
+        assert report.pruned_equivalent is not None
+        assert report.pruned_duplicate is not None
+
+    def test_batch_with_deferred_duplicate_clones(self):
+        """An hf_ratio=2 Counter build collides max/delta mutants onto
+        one HF tick, so the pruner defers duplicate clones until the
+        representative's shard lands -- here, a *batched* shard."""
+        from repro.lint import plan_pruning
+
+        spec = case_study("dsp")
+        module, clk = spec.factory()
+        critical = bin_critical_paths(
+            analyze(synthesize(module), clock_period_ps=spec.clock_period_ps),
+            spec.slack_threshold_ps,
+        )
+        aug = insert_sensors(
+            module, clk, critical, sensor_type="counter", hf_ratio=2,
+            calibration_stimuli=spec.stimulus(
+                min(spec.mutation_cycles, 128)
+            ),
+        )
+        golden = generate_tlm(module, variant="hdtlib", augmented=aug)
+        injected = inject_mutants(aug, variant="hdtlib")
+        stim = spec.stimulus(spec.mutation_cycles)
+        plan = plan_pruning(injected, "counter", module=module)
+        assert plan.duplicate_of  # the fixture must actually defer
+
+        baseline = run_campaign(
+            golden, injected, stim, sensor_type="counter"
+        )
+        report = run_campaign(
+            golden, injected, stim, sensor_type="counter",
+            batch_size=4, lint_prune=True, prune_plan=plan,
+        )
+        assert_reports_identical(report, baseline)
+        assert report.pruned_duplicate == len(plan.duplicate_of)
+
+    def test_batch_under_seeded_worker_crashes(self, sched2):
+        """Self-healing re-dispatch of batched shards: a seeded
+        worker-crash plan leaves the report field-identical."""
+        flow, stim, baseline = case_campaign("dsp", "razor")
+        plan = FaultPlan.from_spec("seed=11;pool.break_worker=p0.3x2")
+        with active_plan(plan):
+            with CampaignScheduler(workers=2) as scheduler:
+                report = run_campaign(
+                    flow.tlm_optimized, flow.injected, stim,
+                    ip_name="dsp", sensor_type="razor",
+                    shard_size=1, batch_size=3, scheduler=scheduler,
+                )
+        assert_reports_identical(report, baseline)
+
+    def test_shard_codec_round_trips_batching_fields(self):
+        from repro.service.api import decode_shard, encode_shard
+
+        golden, injected, stim = synthetic_campaign("razor")
+        prepared = prepare_campaign(
+            golden, injected, stim, sensor_type="razor", batch_size=2
+        )
+        (shard, *_) = prepared.shards
+        decoded = decode_shard(encode_shard(shard))
+        assert decoded.exec_strategy == "batched"
+        assert decoded.batch_size == 2
+        assert decoded.run() == shard.run()
+
+    def test_decode_shard_defaults_to_serial(self):
+        """Payloads from pre-batching coordinators decode serial."""
+        from repro.service.api import decode_shard, encode_shard
+
+        golden, injected, stim = synthetic_campaign("razor")
+        prepared = prepare_campaign(
+            golden, injected, stim, sensor_type="razor"
+        )
+        payload = encode_shard(prepared.shards[0])
+        del payload["exec_strategy"], payload["batch_size"]
+        decoded = decode_shard(payload)
+        assert decoded.exec_strategy == "serial"
+        assert decoded.batch_size is None
+
+
+# ----------------------------------------------------------------------
+# BATCH_SAFE_TARGETS emission
+# ----------------------------------------------------------------------
+
+class TestSafeTargets:
+    def test_emitted_only_on_injected_models(self):
+        golden, injected, stim = synthetic_campaign("razor")
+        assert not hasattr(golden.compiled_class(), "BATCH_SAFE_TARGETS")
+        safe = injected.compiled_class().BATCH_SAFE_TARGETS
+        assert isinstance(safe, dict) and safe
+
+    @pytest.mark.parametrize("ip", IPS)
+    @pytest.mark.parametrize("sensor", SENSORS)
+    def test_safe_map_names_real_attributes(self, ip, sensor):
+        flow, _, _ = case_campaign(ip, sensor)
+        cls = flow.injected.compiled_class()
+        safe = getattr(cls, "BATCH_SAFE_TARGETS", {})
+        instance = flow.injected.instantiate()
+        targets = {spec.target for spec in flow.injected.mutants}
+        for name, attr in safe.items():
+            assert name in targets
+            assert hasattr(instance, attr)
+
+
+# ----------------------------------------------------------------------
+# Kernel snapshot / restore (the RTL fork primitive)
+# ----------------------------------------------------------------------
+
+class TestKernelSnapshot:
+    def _sim(self, ip="dsp"):
+        spec = case_study(ip)
+        module, clk = spec.factory()
+        sim = Simulation(module, {clk: spec.clock_period_ps})
+        names = {s.name: s for s in module.all_signals()
+                 if s.direction == "in"}
+        outs = [s for s in module.all_signals() if s.direction == "out"]
+        stim = spec.stimulus(24)
+
+        def drive(n, start):
+            observed = []
+            for vec in stim[start:start + n]:
+                sim.cycle({
+                    names[k]: v for k, v in vec.items() if k in names
+                })
+                observed.append(
+                    tuple(sim.peek_int(o) for o in outs)
+                )
+            return observed
+
+        return sim, drive
+
+    def test_restore_replays_identically(self):
+        sim, drive = self._sim()
+        drive(8, 0)
+        snap = sim.snapshot_state()
+        first = drive(8, 8)
+        sim.restore_state(snap)
+        assert drive(8, 8) == first
+
+    def test_restore_rebinds_nothing(self):
+        """Compiled runner closures capture the value stores by
+        identity; restore must mutate them in place."""
+        sim, drive = self._sim()
+        values, arrays = sim._values, sim._arrays
+        snap = sim.snapshot_state()
+        drive(4, 0)
+        sim.restore_state(snap)
+        assert sim._values is values
+        assert sim._arrays is arrays
+        for arr, words in arrays.items():
+            assert sim._arrays[arr] is words
+
+    def test_snapshot_isolated_from_further_simulation(self):
+        sim, drive = self._sim()
+        drive(4, 0)
+        snap = sim.snapshot_state()
+        frozen = json.dumps(
+            sorted((s.name, str(v)) for s, v in snap["values"].items())
+        )
+        drive(8, 4)
+        assert json.dumps(
+            sorted((s.name, str(v)) for s, v in snap["values"].items())
+        ) == frozen
+
+    def test_restore_twice_from_one_snapshot(self):
+        sim, drive = self._sim()
+        drive(6, 0)
+        snap = sim.snapshot_state()
+        a = drive(6, 6)
+        sim.restore_state(snap)
+        b = drive(6, 6)
+        sim.restore_state(snap)
+        c = drive(6, 6)
+        assert a == b == c
