@@ -16,7 +16,8 @@ Commands
     ``--format json`` emits the machine-readable reports (findings,
     severity counts, waived entries) instead of the text listing.
 ``mutate <ip> <sensor> [--workers N] [--shard-size M] [--cycles C]
-[--batch K] [--cache-dir DIR] [--no-cache] [--lint-prune]``
+[--batch K] [--cache-dir DIR] [--no-cache] [--lint-prune]
+[--trace FILE]``
     Run only the mutation campaign through the sharded engine
     (:mod:`repro.mutation.campaign`).  ``--workers`` distributes the
     mutant shards across worker processes (the report is
@@ -29,7 +30,11 @@ Commands
     field-identical); ``--lint-prune`` lets the static
     mutant analyzer (:mod:`repro.lint.mutants`) synthesise verdicts
     for provably-equivalent and duplicate mutants instead of
-    simulating them (the report stays field-identical).  Prints
+    simulating them (the report stays field-identical);
+    ``--trace FILE`` records the run with the span tracer
+    (:mod:`repro.obs`) and writes a Chrome/Perfetto ``trace.json``
+    (load it at ``chrome://tracing`` or https://ui.perfetto.dev; the
+    report stays field-identical).  Prints
     campaign throughput (mutants/sec) alongside the Table-5
     percentages.  Timed-out (stall-budget-truncated) runs are
     excluded from every percentage and called out separately in the
@@ -60,7 +65,7 @@ Campaign service (see :mod:`repro.service` and ``docs/service.md``)
 [--state-dir DIR] [--ready-file FILE] [--cache-dir DIR] [--no-cache]
 [--role standalone|coordinator|worker] [--worker HOST:PORT]
 [--coordinator HOST:PORT] [--cache-url HOST:PORT]
-[--fault-plan SPEC]``
+[--fault-plan SPEC] [--trace]``
     Run the long-lived campaign service: jobs submitted over HTTP
     queue onto one shared scheduler pool, every client streams
     per-shard progress (NDJSON).  ``--state-dir`` persists job records
@@ -74,17 +79,34 @@ Campaign service (see :mod:`repro.service` and ``docs/service.md``)
     served by another daemon's ``/cache`` routes.  ``--fault-plan``
     activates deterministic fault injection for chaos runs
     (``docs/chaos.md``; equivalently the ``REPRO_FAULT_PLAN`` env
-    var).
-``submit <ip> <sensor> [--cycles C] [--shard-size M] [--no-recovery]
-[--stop-on-survivor] [--score-threshold X] [--watch] [--host] [--port]``
+    var).  ``--trace`` enables the span tracer server-side, so every
+    job records spans exportable via ``repro trace`` (reports stay
+    field-identical; see ``docs/observability.md``).
+``submit <ip> <sensor> [--cycles C] [--shard-size M] [--batch K]
+[--no-recovery] [--stop-on-survivor] [--score-threshold X] [--watch]
+[--host] [--port]``
     Submit one campaign job; prints the job id (``--watch`` then
-    streams it to completion like ``repro watch``).
+    streams it to completion like ``repro watch``).  ``--batch``
+    executes the job's shards as batched multi-mutant sweeps (the
+    report stays field-identical).
 ``status [job_id] [--server] [--host] [--port]``
     One job's record and report summary, or -- without an id -- a
     table of every job the service knows.  ``--server`` renders the
-    daemon's ``/healthz`` instead: role, pool, job counts, and the
+    daemon's ``/healthz`` instead: role, pool, job counts, the
     per-placement fleet detail (identity, liveness, in-flight shards,
-    queue depth).
+    queue depth) and the compact metrics snapshot (per-worker
+    shards/sec, in-flight, cache hit ratio).
+``trace [job_id] [--last] [--out FILE] [--host] [--port]``
+    Export one job's span trace (``GET /jobs/<id>/trace``) as
+    Chrome/Perfetto trace-event JSON -- ``--last`` picks the newest
+    job, ``--out`` writes to a file instead of stdout.  Needs a
+    server booted with ``repro serve --trace``.
+``top [--interval S] [--once] [--host] [--port]``
+    Live metrics view of a running service: refreshes the
+    coordinator-side counters and the per-worker throughput table
+    every ``--interval`` seconds (``--once`` prints one snapshot and
+    exits; the same numbers Prometheus scrapes from ``GET
+    /metrics``).
 ``watch <job_id> [--host] [--port]``
     Stream a job's events live: per-shard progress lines, then the
     final campaign summary.  Exit code mirrors ``repro mutate``.
@@ -216,6 +238,10 @@ def _cmd_lint(args) -> int:
 
 def _cmd_mutate(args) -> int:
     spec = case_study(args.ip)
+    if args.trace:
+        from repro.obs import TRACER
+
+        TRACER.enable()
     result = run_flow(
         spec,
         args.sensor,
@@ -227,6 +253,16 @@ def _cmd_mutate(args) -> int:
         lint_prune=args.lint_prune,
     )
     report = result.mutation
+    if args.trace:
+        import json as _json
+
+        from repro.obs import TRACER
+
+        payload = TRACER.chrome_trace()
+        with open(args.trace, "w") as handle:
+            _json.dump(payload, handle, sort_keys=True)
+        print(f"trace: {len(payload['traceEvents'])} events "
+              f"-> {args.trace}")
     print(format_kv([
         ("IP", spec.title),
         ("sensor type", args.sensor),
@@ -507,6 +543,7 @@ def _cmd_serve(args) -> int:
         state_dir=args.state_dir,
         cache=cache,
         role=args.role,
+        trace=args.trace,
     )
     server = ServiceServer(service, host=args.host, port=args.port)
     host, port = server.start()
@@ -516,6 +553,9 @@ def _cmd_serve(args) -> int:
           flush=True)
     if args.state_dir:
         print(f"  job records : {args.state_dir}", flush=True)
+    if args.trace:
+        print("  tracing     : on (export with `repro trace`)",
+              flush=True)
     if args.cache_url:
         print(f"  result cache: remote {args.cache_url}", flush=True)
     elif getattr(args, "cache_dir", None) and not args.no_cache:
@@ -617,6 +657,7 @@ def _cmd_submit(args) -> int:
         "sensor": args.sensor,
         "cycles": args.cycles,
         "shard_size": args.shard_size,
+        "batch_size": args.batch,
         "recovery": not args.no_recovery,
         "stop_on_survivor": args.stop_on_survivor,
         "score_threshold": args.score_threshold,
@@ -649,10 +690,75 @@ def _job_row(record) -> list:
     ]
 
 
+def _ratio_cell(value) -> str:
+    return "n.a." if value is None else f"{value * 100:.1f}%"
+
+
+def _rate_cell(value) -> str:
+    return "n.a." if value is None else f"{value:.2f}"
+
+
+def _metrics_pairs(metrics: dict) -> list:
+    """Compact coordinator-side counter highlights for ``repro status
+    --server`` / ``repro top`` (from ``health['metrics']['local']``)."""
+    local = metrics.get("local") or {}
+    counters = local.get("counters") or {}
+    hist = (local.get("histograms") or {}).get("repro_shard_seconds")
+
+    def count(name):
+        return int(counters.get(name, 0))
+
+    hits = count("repro_cache_hits_total")
+    probed = hits + count("repro_cache_misses_total")
+    pairs = [
+        ("tracing", "on" if metrics.get("tracing") else "off"),
+        ("shards executed", count("repro_shards_executed_total")),
+        ("mutants executed", count("repro_mutants_executed_total")),
+        ("cache hit ratio",
+         _ratio_cell(hits / probed if probed else None)),
+        ("pool rebuilds", count("repro_pool_rebuilds_total")),
+        ("fleet re-dispatches", count("repro_fleet_redispatches_total")),
+    ]
+    if hist and hist.get("count"):
+        pairs.append((
+            "mean shard time",
+            f"{hist['sum'] / hist['count']:.3f} s",
+        ))
+    return pairs
+
+
+def _worker_metrics_table(metrics: dict) -> "str | None":
+    """The per-worker throughput table (from
+    ``health['metrics']['workers']``), or ``None`` when the snapshot
+    is absent (an older server)."""
+    workers = metrics.get("workers")
+    if not workers:
+        return None
+    rows = [
+        [
+            w.get("kind"),
+            w.get("identity"),
+            "yes" if w.get("alive") else "no",
+            w.get("in_flight"),
+            w.get("shards_done"),
+            _rate_cell(w.get("shards_per_s")),
+            _ratio_cell(w.get("cache_hit_ratio")),
+        ]
+        for w in workers
+    ]
+    return format_table(
+        ["kind", "identity", "alive", "in-flight", "shards done",
+         "shards/s", "cache hits"],
+        rows,
+        title="Worker metrics",
+    )
+
+
 def _print_server_status(health: dict) -> int:
     """Render ``GET /healthz`` -- the daemon-level view behind
-    ``repro status --server``: role, pool and job counts, then one row
-    per placement (the local pool and every registered worker)."""
+    ``repro status --server``: role, pool and job counts, the compact
+    metrics snapshot, then one row per placement (the local pool and
+    every registered worker)."""
     pool = health.get("pool") or {}
     jobs = health.get("jobs") or {}
     fleet = health.get("fleet") or {}
@@ -673,7 +779,14 @@ def _print_server_status(health: dict) -> int:
     cache = health.get("cache")
     if cache is not None:
         pairs.append(("cache entries", cache.get("entries")))
+    metrics = health.get("metrics") or {}
+    if metrics:
+        pairs += _metrics_pairs(metrics)
     print(format_kv(pairs))
+    table = _worker_metrics_table(metrics)
+    if table is not None:
+        print()
+        print(table)
     placements = health.get("placements") or []
     if placements:
         rows = [
@@ -736,6 +849,76 @@ def _cmd_cancel(args) -> int:
     print(f"job {record['id']}: cancellation requested "
           f"(status {record['status']})")
     return 0
+
+
+def _cmd_trace(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    job_id = args.job_id
+    if job_id is None:
+        if not args.last:
+            print("error: give a job id or --last", file=sys.stderr)
+            return 2
+        records = client.jobs()
+        if not records:
+            print("error: the service has no jobs", file=sys.stderr)
+            return 1
+        # jobs() is oldest-submission-first; --last means the newest.
+        job_id = records[-1]["id"]
+    try:
+        payload = client.trace(job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = _json.dumps(payload, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"job {job_id}: {len(payload['traceEvents'])} events "
+              f"-> {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    client = _service_client(args)
+    try:
+        while True:
+            health = client.health()
+            metrics = health.get("metrics") or {}
+            pairs = [
+                ("status", health.get("status")),
+                ("uptime", f"{health.get('uptime_s', 0.0):.1f} s"),
+                ("jobs", ", ".join(
+                    f"{status}={count}"
+                    for status, count in sorted(
+                        (health.get("jobs") or {}).items()
+                    )
+                ) or "none"),
+            ] + _metrics_pairs(metrics)
+            gauges = (metrics.get("local") or {}).get("gauges") or {}
+            if "repro_inflight_shards" in gauges:
+                pairs.append((
+                    "in-flight shards",
+                    int(gauges["repro_inflight_shards"]),
+                ))
+            print(format_kv(pairs))
+            table = _worker_metrics_table(metrics)
+            if table is not None:
+                print()
+                print(table)
+            if args.once:
+                return 0
+            print(flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_cache(args) -> int:
@@ -856,6 +1039,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="statically prune equivalent/duplicate "
                             "mutants (verdicts synthesised, report "
                             "unchanged)")
+    p_mut.add_argument("--trace", default=None, metavar="FILE",
+                       help="record the run with the span tracer and "
+                            "write Chrome/Perfetto trace-event JSON "
+                            "here (report unchanged)")
     _add_cache_options(p_mut)
 
     p_bench = sub.add_parser(
@@ -975,6 +1162,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "pool.break_worker=1' (also via the "
                               "REPRO_FAULT_PLAN env var; see "
                               "docs/chaos.md)")
+    p_serve.add_argument("--trace", action="store_true",
+                         help="enable the span tracer: every job "
+                              "records spans exportable via `repro "
+                              "trace` (reports unchanged; see "
+                              "docs/observability.md)")
     _add_cache_options(p_serve)
 
     p_submit = sub.add_parser(
@@ -986,6 +1178,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="testbench cycles (default: per-IP value)")
     p_submit.add_argument("--shard-size", type=int, default=None,
                           help="mutants per shard (default: auto)")
+    p_submit.add_argument("--batch", type=int, default=None,
+                          help="mutants per batched sweep in the job's "
+                               "shards (default: serial; report "
+                               "unchanged)")
     p_submit.add_argument("--no-recovery", action="store_true",
                           help="disable Razor recovery in the campaign")
     p_submit.add_argument("--stop-on-survivor", action="store_true",
@@ -1021,6 +1217,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_cancel.add_argument("job_id")
     _add_service_options(p_cancel)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="export a job's span trace as Chrome trace-event JSON",
+        description=(
+            "Export one job's span trace (GET /jobs/<id>/trace) as "
+            "Chrome/Perfetto trace-event JSON -- load it at "
+            "chrome://tracing or https://ui.perfetto.dev.  Needs a "
+            "server booted with `repro serve --trace`.  See "
+            "docs/observability.md."
+        ),
+    )
+    p_trace.add_argument("job_id", nargs="?", default=None)
+    p_trace.add_argument("--last", action="store_true",
+                         help="export the newest job instead of "
+                              "naming one")
+    p_trace.add_argument("--out", default=None, metavar="FILE",
+                         help="write the trace JSON here instead of "
+                              "stdout")
+    _add_service_options(p_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live metrics view of a running service",
+        description=(
+            "Refresh the coordinator-side metrics snapshot (the same "
+            "numbers Prometheus scrapes from GET /metrics) and the "
+            "per-worker throughput table until interrupted.  See "
+            "docs/observability.md."
+        ),
+    )
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh period (default: 2.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit")
+    _add_service_options(p_top)
+
     p_cache = sub.add_parser(
         "cache", help="inspect / garbage-collect a result cache"
     )
@@ -1052,6 +1285,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "status": _cmd_status,
         "watch": _cmd_watch,
         "cancel": _cmd_cancel,
+        "trace": _cmd_trace,
+        "top": _cmd_top,
         "cache": _cmd_cache,
     }[args.command]
     return handler(args)

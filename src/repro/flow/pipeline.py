@@ -28,6 +28,7 @@ from repro.mutation import (
     run_mutation_analysis,
     validate_at_rtl,
 )
+from repro.obs import trace_span
 from repro.rtl import count_loc, emit_vhdl
 from repro.sensors import AugmentedIP, insert_sensors
 from repro.sta import CriticalPathReport, StaReport, analyze, bin_critical_paths
@@ -201,8 +202,14 @@ def run_flow(
         steps.  The mutation report is deterministic for any worker
         count and cache state.
     """
+    _flow_span = trace_span("flow.run", ip=spec.name, sensor=sensor_type)
+    _flow_span.__enter__()
+
     # -- step 0/1: characterise and insert sensors ------------------------
-    artifacts = build_augmented(spec, sensor_type, exec_mode=rtl_exec_mode)
+    with trace_span("flow.augment", ip=spec.name, sensor=sensor_type):
+        artifacts = build_augmented(
+            spec, sensor_type, exec_mode=rtl_exec_mode
+        )
     synth, sta, critical = artifacts.synth, artifacts.sta, artifacts.critical
     augmented = artifacts.augmented
     module = augmented.module
@@ -210,15 +217,17 @@ def run_flow(
     augmented_rtl_loc = artifacts.augmented_rtl_loc
 
     # -- step 2: RTL-to-TLM abstraction, both data-type variants ------------
-    tlm_standard = generate_tlm(
-        module, variant="sctypes", augmented=augmented
-    )
-    tlm_optimized = generate_tlm(
-        module, variant="hdtlib", augmented=augmented
-    )
+    with trace_span("flow.tlm", ip=spec.name):
+        tlm_standard = generate_tlm(
+            module, variant="sctypes", augmented=augmented
+        )
+        tlm_optimized = generate_tlm(
+            module, variant="hdtlib", augmented=augmented
+        )
 
     # -- step 3: mutant injection (ADAM) -------------------------------------
-    injected = inject_mutants(augmented, variant="hdtlib")
+    with trace_span("flow.inject", ip=spec.name):
+        injected = inject_mutants(augmented, variant="hdtlib")
 
     # -- static analysis gate (repro.lint) -----------------------------------
     lint_report = None
@@ -271,40 +280,43 @@ def run_flow(
         # The GeneratedTlm itself (not a bare factory) keeps the
         # golden fingerprintable, so a warm cache can replay the
         # golden trace and skip the reference simulation entirely.
-        result.mutation = run_mutation_analysis(
-            tlm_optimized,
-            injected,
-            stimuli,
-            ip_name=spec.name,
-            sensor_type=sensor_type,
-            recovery=True,
-            workers=workers,
-            shard_size=shard_size,
-            batch_size=batch_size,
-            scheduler=scheduler,
-            cache=cache,
-            lint_prune=lint_prune,
-            prune_plan=prune_plan,
-        )
+        with trace_span("flow.mutation", ip=spec.name, sensor=sensor_type):
+            result.mutation = run_mutation_analysis(
+                tlm_optimized,
+                injected,
+                stimuli,
+                ip_name=spec.name,
+                sensor_type=sensor_type,
+                recovery=True,
+                workers=workers,
+                shard_size=shard_size,
+                batch_size=batch_size,
+                scheduler=scheduler,
+                cache=cache,
+                lint_prune=lint_prune,
+                prune_plan=prune_plan,
+            )
 
     if run_rtl_validation:
         from repro.ips import rebuild_recipe
 
         stimuli = spec.stimulus(rtl_validation_cycles)
-        result.rtl_validation = validate_at_rtl(
-            augmented,
-            injected.mutants,
-            stimuli=stimuli,
-            cycles=rtl_validation_cycles,
-            ip_name=spec.name,
-            exec_mode=rtl_exec_mode,
-            # Worker processes rebuild the augmentation from the
-            # registry; an unregistered ad-hoc spec keeps the shards
-            # in the parent process.
-            rebuild=rebuild_recipe(spec),
-            workers=workers,
-            shard_size=shard_size,
-            scheduler=scheduler,
-            cache=cache,
-        )
+        with trace_span("flow.rtl_validation", ip=spec.name):
+            result.rtl_validation = validate_at_rtl(
+                augmented,
+                injected.mutants,
+                stimuli=stimuli,
+                cycles=rtl_validation_cycles,
+                ip_name=spec.name,
+                exec_mode=rtl_exec_mode,
+                # Worker processes rebuild the augmentation from the
+                # registry; an unregistered ad-hoc spec keeps the shards
+                # in the parent process.
+                rebuild=rebuild_recipe(spec),
+                workers=workers,
+                shard_size=shard_size,
+                scheduler=scheduler,
+                cache=cache,
+            )
+    _flow_span.__exit__(None, None, None)
     return result

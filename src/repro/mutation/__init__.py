@@ -50,6 +50,7 @@ from .cache import ResultCache, shard_entry_keys
 from .campaign import (
     CampaignShard,
     PreparedCampaign,
+    ShardResult,
     prepare_campaign,
     resolve_tap_order,
     run_campaign,
@@ -94,6 +95,7 @@ __all__ = [
     "run_mutation_analysis",
     "CampaignShard",
     "PreparedCampaign",
+    "ShardResult",
     "prepare_campaign",
     "resolve_tap_order",
     "run_campaign",

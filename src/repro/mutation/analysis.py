@@ -117,6 +117,12 @@ class MutationReport:
     #: a verdict, so pruned and unpruned reports compare equal.
     pruned_equivalent: "int | None" = field(default=None, compare=False)
     pruned_duplicate: "int | None" = field(default=None, compare=False)
+    #: Aggregated observability data (:mod:`repro.obs`): per-campaign
+    #: shard-capture counters (batched forks, early kills, re-joins,
+    #: executed shard/mutant counts).  ``None`` unless at least one
+    #: shard carried a capture.  ``compare=False`` like ``seconds`` --
+    #: tracing on vs off must leave reports field-identical.
+    obs: "dict | None" = field(default=None, compare=False, repr=False)
 
     @property
     def total(self) -> int:

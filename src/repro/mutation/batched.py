@@ -38,6 +38,8 @@ cache write-back keys -- for any batch size, which
 
 from __future__ import annotations
 
+from repro.obs import shard_count, shard_instant, shard_span
+
 from .analysis import (
     CounterMutantJudge,
     RazorMutantJudge,
@@ -128,12 +130,20 @@ def _sweep_razor(cls, group, specs, stimuli, recovery, golden, safe):
                 # The shared prefix was stall-free (the base never
                 # raises an error), so the solo run enters this cycle
                 # with exactly ``cyc`` budget units spent.
+                shard_count("batch_forks")
                 mutant = _fork(cls, snapshot, i)
-                timed_out = _drive_razor(
-                    mutant, stimuli, recovery_bit, judges[i],
-                    position=cyc, budget=budget_total - cyc,
-                    early_kill=True,
-                )
+                with shard_span("batch.fork", index=i, cycle=cyc):
+                    timed_out = _drive_razor(
+                        mutant, stimuli, recovery_bit, judges[i],
+                        position=cyc, budget=budget_total - cyc,
+                        early_kill=True,
+                    )
+                if not timed_out and judges[i].settled():
+                    # The drive stopped before consuming every
+                    # stimulus: the early-kill saving this sweep
+                    # exists for.
+                    shard_count("batch_early_kills")
+                    shard_instant("batch.early_kill", index=i)
                 outcomes[i] = judges[i].finish(timed_out)
             else:
                 judges[i].observe(outs, functional=functional)
@@ -172,6 +182,8 @@ def _sweep_counter(cls, group, specs, stimuli, tap_order, golden, safe):
         for i, pre_value in pre:
             if getattr(base, safe[specs[i].target]) != pre_value:
                 attached.remove(i)
+                shard_count("batch_forks")
+                shard_instant("batch.fork", index=i, cycle=cyc)
                 newly_forked.append((i, _fork(cls, snapshot, i)))
         for i in attached:
             judges[i].observe(outs, functional=functional)
@@ -182,6 +194,8 @@ def _sweep_counter(cls, group, specs, stimuli, tap_order, golden, safe):
             if m_outs == outs and _rejoined(
                 mutant, base, safe[specs[i].target]
             ):
+                shard_count("batch_rejoins")
+                shard_instant("batch.rejoin", index=i, cycle=cyc)
                 attached.append(i)
             else:
                 still.append((i, mutant))
@@ -224,14 +238,16 @@ def run_batched_shard(shard) -> "list":
                 )
         if not group:
             continue
-        if razor:
-            outcomes.update(_sweep_razor(
-                cls, group, specs, stimuli, shard.recovery,
-                shard.golden, safe,
-            ))
-        else:
-            outcomes.update(_sweep_counter(
-                cls, group, specs, stimuli, tap_order, shard.golden,
-                safe,
-            ))
+        with shard_span("batch.sweep", mutants=len(group),
+                        sensor=shard.sensor_type):
+            if razor:
+                outcomes.update(_sweep_razor(
+                    cls, group, specs, stimuli, shard.recovery,
+                    shard.golden, safe,
+                ))
+            else:
+                outcomes.update(_sweep_counter(
+                    cls, group, specs, stimuli, tap_order, shard.golden,
+                    safe,
+                ))
     return [outcomes[i] for i in shard.indices]

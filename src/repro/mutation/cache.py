@@ -72,9 +72,9 @@ import json
 import os
 import tempfile
 import threading
-import time
 
 from ..faults import fault_point
+from ..obs import REGISTRY, metadata_wall_clock, trace_span
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -465,23 +465,28 @@ class ResultCache:
         write survived by a crash, bit rot) is quarantined and counts
         as a miss -- it must never escape as a ``ValueError``
         mid-campaign."""
-        if self.root is None:
-            payload = self._mem.get(key)
-        else:
-            path = self._path(key)
-            try:
-                with open(path) as handle:
-                    payload = json.load(handle)
-            except OSError:
-                payload = None
-            except ValueError:
-                payload = None
-                self._quarantine(path)
+        with trace_span("cache.get", key=key[:12]):
+            if self.root is None:
+                payload = self._mem.get(key)
+            else:
+                path = self._path(key)
+                try:
+                    with open(path) as handle:
+                        payload = json.load(handle)
+                except OSError:
+                    payload = None
+                except ValueError:
+                    payload = None
+                    self._quarantine(path)
         with self._lock:
             if payload is None:
                 self.misses += 1
             else:
                 self.hits += 1
+        if payload is None:
+            REGISTRY.inc("repro_cache_misses_total")
+        else:
+            REGISTRY.inc("repro_cache_hits_total")
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -495,27 +500,28 @@ class ResultCache:
             with self._lock:
                 self._mem[key] = payload
                 # Eviction-age metadata only, never a verdict input.
-                self._times[key] = time.time()  # det-lint: allow
+                self._times[key] = metadata_wall_clock()
             return
         path = self._path(key)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                text = json.dumps(payload, sort_keys=True)
-                if corrupt:
-                    # A torn write: half the JSON, atomically renamed
-                    # into place like the real thing.
-                    text = text[: max(1, len(text) // 2)]
-                handle.write(text)
-            os.replace(tmp, path)
-        except BaseException:
+        with trace_span("cache.put", key=key[:12]):
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    text = json.dumps(payload, sort_keys=True)
+                    if corrupt:
+                        # A torn write: half the JSON, atomically
+                        # renamed into place like the real thing.
+                        text = text[: max(1, len(text) // 2)]
+                    handle.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def probe(self, keys, decode):
         """Look up a whole campaign's entry keys at once.
@@ -679,7 +685,7 @@ class ResultCache:
         """
         # GC age accounting against file mtimes -- never a verdict
         # input.
-        scan_start = time.time()  # det-lint: allow
+        scan_start = metadata_wall_clock()
         cutoff = (
             scan_start - older_than_s if older_than_s is not None else None
         )

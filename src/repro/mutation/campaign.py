@@ -46,6 +46,13 @@ import time
 from dataclasses import dataclass
 
 from repro.abstraction import GeneratedTlm
+from repro.obs import (
+    REGISTRY,
+    TRACER,
+    shard_capture,
+    shard_span,
+    trace_span,
+)
 
 from .analysis import (
     GoldenTrace,
@@ -58,11 +65,29 @@ from .analysis import (
 __all__ = [
     "CampaignShard",
     "PreparedCampaign",
+    "ShardResult",
     "prepare_campaign",
     "resolve_tap_order",
     "run_campaign",
     "shard_indices",
 ]
+
+
+class ShardResult(list):
+    """A shard's outcome list plus its observability side-channel.
+
+    Behaves exactly like the plain ``list`` every existing consumer
+    expects (merging, sorting, pickling across the process pool), with
+    one extra attribute: ``obs``, the worker-side
+    :class:`~repro.obs.tracer.ShardCapture` payload of relative-offset
+    spans and counters.  Code that concatenates or re-wraps outcome
+    lists may silently degrade the result to ``list`` -- readers must
+    treat ``obs`` as best-effort (``getattr(result, "obs", None)``).
+    """
+
+    def __init__(self, outcomes=(), obs: "dict | None" = None) -> None:
+        super().__init__(outcomes)
+        self.obs = obs
 
 
 @dataclass(frozen=True)
@@ -84,6 +109,11 @@ class CampaignShard:
     #: produce field-identical outcomes.
     exec_strategy: str = "serial"
     batch_size: "int | None" = None
+    #: Record worker-side spans (:mod:`repro.obs`) during execution.
+    #: Counters are collected regardless (cheap integer adds); spans
+    #: only when the coordinator prepared the campaign with tracing
+    #: enabled.  Pure metadata -- never changes an outcome.
+    trace: bool = False
 
     #: A TLM shard is always safe to pickle to a worker process.
     inline_only = False
@@ -97,7 +127,23 @@ class CampaignShard:
         """Evaluate the shard's mutants (in a worker process, or inline
         for ``workers=1``).  The generated model class is compiled once
         per process via the :meth:`GeneratedTlm.compiled_class` cache;
-        each mutant then pays only construction + simulation."""
+        each mutant then pays only construction + simulation.
+
+        Returns a :class:`ShardResult`: the outcome list plus the
+        shard's obs payload (execution counters always; relative-
+        offset spans when ``self.trace``)."""
+        with shard_capture(self.trace) as capture:
+            capture.count("shards", 1)
+            capture.count("mutants", len(self.indices))
+            with shard_span(
+                "shard.execute",
+                mutants=len(self.indices),
+                strategy=self.exec_strategy,
+            ):
+                outcomes = self._execute()
+            return ShardResult(outcomes, obs=capture.payload())
+
+    def _execute(self) -> "list":
         if self.exec_strategy == "batched":
             from .batched import run_batched_shard
 
@@ -110,14 +156,17 @@ class CampaignShard:
             mutant = self.injected.instantiate()
             mutant.activate_mutant(index)
             spec = specs[index]
-            if self.sensor_type == "razor":
-                outcomes.append(_run_razor_mutant(
-                    index, spec, mutant, stimuli, self.recovery, self.golden
-                ))
-            else:
-                outcomes.append(_run_counter_mutant(
-                    index, spec, mutant, stimuli, tap_order, self.golden
-                ))
+            with shard_span("mutant", index=index):
+                if self.sensor_type == "razor":
+                    outcomes.append(_run_razor_mutant(
+                        index, spec, mutant, stimuli, self.recovery,
+                        self.golden
+                    ))
+                else:
+                    outcomes.append(_run_counter_mutant(
+                        index, spec, mutant, stimuli, tap_order,
+                        self.golden
+                    ))
         return outcomes
 
 
@@ -364,6 +413,10 @@ def prepare_campaign(
     carried in ``cached_outcomes`` / ``pruned_outcomes``, re-indexed
     to the current mutant table.
     """
+    # One span covers the whole preparation; explicit enter/exit keeps
+    # the long single-exit body un-indented.
+    _span = trace_span("campaign.prepare", ip=ip_name, sensor=sensor_type)
+    _span.__enter__()
     specs = injected.mutants
     taps = resolve_tap_order(injected, sensor_type, tap_order)
 
@@ -388,11 +441,15 @@ def prepare_campaign(
         if payload is not None:
             golden_trace = decode_golden_trace(payload)
             golden_cached = True
+            REGISTRY.inc("repro_golden_cache_hits_total")
     if golden_trace is None:
         golden_model = _resolve_golden_model(golden)
-        golden_trace = compute_golden_trace(
-            golden_model, stimuli, sensor_type=sensor_type, recovery=recovery
-        )
+        with trace_span("campaign.golden", ip=ip_name,
+                        cycles=len(stimuli)):
+            golden_trace = compute_golden_trace(
+                golden_model, stimuli, sensor_type=sensor_type,
+                recovery=recovery
+            )
         if golden_key is not None:
             from .cache import encode_golden_trace
 
@@ -400,6 +457,7 @@ def prepare_campaign(
                 golden_key, encode_golden_trace(golden_trace, ip=ip_name)
             )
             golden_cached = False
+            REGISTRY.inc("repro_golden_cache_misses_total")
 
     cached_outcomes: "list" = []
     cache_keys = None
@@ -424,9 +482,11 @@ def prepare_campaign(
             )
             for spec in specs
         )
-        cached_outcomes, miss_indices = cache.probe(
-            cache_keys, decode_outcome
-        )
+        with trace_span("campaign.cache_probe", ip=ip_name,
+                        keys=len(cache_keys)):
+            cached_outcomes, miss_indices = cache.probe(
+                cache_keys, decode_outcome
+            )
         hits = len(cached_outcomes)
         misses = len(miss_indices)
 
@@ -513,10 +573,11 @@ def prepare_campaign(
             tap_order=taps,
             exec_strategy="batched" if batch_size else "serial",
             batch_size=batch_size or None,
+            trace=TRACER.enabled,
         )
         for indices in _shard_sequence(miss_indices, workers, shard_size)
     )
-    return PreparedCampaign(
+    prepared = PreparedCampaign(
         ip_name=ip_name,
         sensor_type=sensor_type,
         variant=injected.variant,
@@ -534,6 +595,8 @@ def prepare_campaign(
         pruned_equivalent=pruned_equivalent,
         pruned_duplicate=pruned_duplicate,
     )
+    _span.__exit__(None, None, None)
+    return prepared
 
 
 def run_campaign(
@@ -604,30 +667,46 @@ def run_campaign(
     ``scheduler`` combination, for any cache state (cold, warm, or
     partial), and for ``lint_prune`` on vs off.
     """
-    from .scheduler import _ephemeral_width, _leased_scheduler, stream_prepared
+    from .scheduler import (
+        _ephemeral_width,
+        _leased_scheduler,
+        stream_shard_batches,
+    )
 
     started = time.perf_counter()
-    prepared = prepare_campaign(
-        golden,
-        injected,
-        stimuli,
-        ip_name=ip_name,
-        sensor_type=sensor_type,
-        recovery=recovery,
-        tap_order=tap_order,
-        workers=workers if scheduler is None else scheduler.workers,
-        shard_size=shard_size,
-        batch_size=batch_size,
-        cache=cache,
-        lint_prune=lint_prune,
-        prune_plan=prune_plan,
-    )
-    with _leased_scheduler(
-        scheduler, _ephemeral_width(workers, prepared)
-    ) as sched:
-        outcomes = list(stream_prepared(
-            sched, prepared, progress=progress, cache=cache
-        ))
-    return prepared.build_report(
+    with trace_span("campaign.run", ip=ip_name, sensor=sensor_type):
+        prepared = prepare_campaign(
+            golden,
+            injected,
+            stimuli,
+            ip_name=ip_name,
+            sensor_type=sensor_type,
+            recovery=recovery,
+            tap_order=tap_order,
+            workers=workers if scheduler is None else scheduler.workers,
+            shard_size=shard_size,
+            batch_size=batch_size,
+            cache=cache,
+            lint_prune=lint_prune,
+            prune_plan=prune_plan,
+        )
+        outcomes: "list" = []
+        obs_counters: "dict[str, int]" = {}
+        with _leased_scheduler(
+            scheduler, _ephemeral_width(workers, prepared)
+        ) as sched:
+            for batch, _snapshot in stream_shard_batches(
+                sched, prepared, progress=progress, cache=cache
+            ):
+                outcomes.extend(batch)
+                payload = getattr(batch, "obs", None) or {}
+                for name, value in sorted(
+                    (payload.get("counters") or {}).items()
+                ):
+                    obs_counters[name] = obs_counters.get(name, 0) + value
+    report = prepared.build_report(
         outcomes, seconds=time.perf_counter() - started
     )
+    if obs_counters:
+        report.obs = {"counters": obs_counters}
+    return report

@@ -43,6 +43,7 @@ from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
 from ..faults import fault_point
+from ..obs import REGISTRY, TRACER
 from .campaign import _run_shard
 
 __all__ = [
@@ -386,6 +387,12 @@ class LocalPoolPlacement(ShardPlacement):
             return
         with self._lock:
             self._isolations += 1
+        REGISTRY.inc("repro_shard_isolations_total")
+        TRACER.instant(
+            "pool.isolate",
+            indices=list(getattr(shard, "indices", ()) or ()),
+            breaks=breaks,
+        )
 
         def probe() -> None:
             try:
@@ -413,6 +420,8 @@ class LocalPoolPlacement(ShardPlacement):
                 return
             self._pool = None
             self._pool_rebuilds += 1
+        REGISTRY.inc("repro_pool_rebuilds_total")
+        TRACER.instant("pool.rebuild", identity=self.identity)
         broken_pool.shutdown(wait=False)
 
     def shutdown(self, wait: bool = True) -> None:

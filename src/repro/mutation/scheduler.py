@@ -53,7 +53,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from .campaign import PreparedCampaign, prepare_campaign
+from repro.obs import (
+    TRACER,
+    CompletionStamps,
+    absorb_shard_counters,
+    trace_span,
+)
+
+from .campaign import PreparedCampaign, ShardResult, prepare_campaign
 from .placement import LocalPoolPlacement, ShardPlacement
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only dependency
@@ -332,26 +339,39 @@ def stream_shard_batches(
     """
     from .cache import encode_outcome
 
-    tracker = _CampaignTracker(prepared, abort)
-    replayed = prepared.replayed_outcomes
-    if replayed:
-        tracker.absorb(replayed, progress)
-        yield list(replayed), tracker.snapshot()
-    results = _stream_shard_results(
-        scheduler, prepared.shards, stop=lambda: tracker.aborted
-    )
-    try:
-        for outcomes in results:
-            outcomes = prepared.expand_outcomes(outcomes)
-            _write_back(cache, prepared.cache_keys, outcomes,
-                        encode_outcome, ip=prepared.ip_name)
-            tracker.absorb(outcomes, progress)
-            yield outcomes, tracker.snapshot()
-    finally:
-        # Deterministic cleanup even when our *own* frame is torn down
-        # mid-yield (consumer close) or a callback raised above: close
-        # the drain loop now instead of waiting for GC.
-        results.close()
+    with trace_span("scheduler.stream", ip=prepared.ip_name,
+                    sensor=prepared.sensor_type,
+                    shards=prepared.total_shards):
+        tracker = _CampaignTracker(prepared, abort)
+        replayed = prepared.replayed_outcomes
+        if replayed:
+            tracker.absorb(replayed, progress)
+            yield list(replayed), tracker.snapshot()
+        results = _stream_shard_results(
+            scheduler, prepared.shards, stop=lambda: tracker.aborted
+        )
+        try:
+            for outcomes in results:
+                # The obs side-channel is absorbed before the outcome
+                # list is re-shaped (expansion builds a plain list):
+                # shard counters feed the metrics registry, relative-
+                # offset spans are re-anchored onto the tracer, and the
+                # payload rides on to the caller for per-campaign
+                # aggregation (report.obs).
+                obs = getattr(outcomes, "obs", None)
+                absorb_shard_counters(obs)
+                TRACER.absorb_shard(obs, ip=prepared.ip_name)
+                outcomes = prepared.expand_outcomes(outcomes)
+                _write_back(cache, prepared.cache_keys, outcomes,
+                            encode_outcome, ip=prepared.ip_name)
+                tracker.absorb(outcomes, progress)
+                yield ShardResult(outcomes, obs=obs), tracker.snapshot()
+        finally:
+            # Deterministic cleanup even when our *own* frame is torn
+            # down mid-yield (consumer close) or a callback raised
+            # above: close the drain loop now instead of waiting for
+            # GC.
+            results.close()
 
 
 def stream_prepared(
@@ -720,7 +740,10 @@ def run_benchmark_suite(
     #: callback thread), so a campaign's duration is measured to its
     #: last shard's *completion*, not to whenever the parent -- which
     #: may be busy building a later campaign's flow -- drains it.
-    completion: "dict[Future, float]" = {}
+    #: Closed once the drain loop exits: a done-callback firing after
+    #: that (cancelled future resolving during teardown) must not
+    #: mutate the stamp map the suite no longer reads.
+    completion = CompletionStamps()
     seen: "set[tuple[str, str]]" = set()
 
     def _absorb_done(block: bool) -> None:
@@ -735,7 +758,7 @@ def run_benchmark_suite(
             _absorb(
                 futures.pop(future),
                 future.result(),
-                completion.pop(future, None),
+                completion.pop(future),
             )
 
     def _submit_job(sched, job, shards) -> None:
@@ -749,9 +772,7 @@ def run_benchmark_suite(
                 _absorb(job, future.result())
             else:
                 futures[future] = job
-                future.add_done_callback(
-                    lambda f: completion.setdefault(f, time.perf_counter())
-                )
+                future.add_done_callback(completion.stamp)
 
     def _run_suite(sched) -> None:
         for spec in resolved:
@@ -869,6 +890,8 @@ def run_benchmark_suite(
             if futures:
                 wait(set(futures))
             raise
+        finally:
+            completion.close()
     campaign_seconds = time.perf_counter() - campaign_started
 
     reports = {

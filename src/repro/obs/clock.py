@@ -1,0 +1,24 @@
+"""Wall-clock boundary for eviction-age metadata.
+
+det-lint: wall-clock-boundary -- this module is the one sanctioned
+place worker-reachable code may read the wall clock, and only for
+storage-housekeeping metadata (cache entry ages for ``repro cache
+prune``).  Nothing returned here may ever feed a mutant verdict or
+any other ``compare``-relevant report field; the determinism linter
+(``tools/lint_determinism.py``) whitelists wall-clock reads *only* in
+modules carrying this boundary declaration, so the call sites
+themselves (e.g. :mod:`repro.mutation.cache`) stay pragma-free and
+any new ``time.time()`` elsewhere still fails the lint.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["metadata_wall_clock"]
+
+
+def metadata_wall_clock() -> float:
+    """Current wall-clock time (seconds since the epoch) for
+    eviction-age bookkeeping -- never for verdict data."""
+    return time.time()

@@ -88,6 +88,7 @@ def encode_report(report) -> dict:
         "cache_hits": report.cache_hits,
         "cache_misses": report.cache_misses,
         "golden_cache_hit": report.golden_cache_hit,
+        "obs": report.obs,
         "outcomes": [encode_outcome(o) for o in report.outcomes],
     }
 
@@ -112,6 +113,7 @@ def decode_report(payload: dict):
         golden_cache_hit=payload.get("golden_cache_hit"),
     )
     report.seconds = payload.get("seconds", 0.0)
+    report.obs = payload.get("obs")
     return report
 
 
@@ -183,6 +185,7 @@ def encode_shard(shard) -> dict:
         "tap_order": list(shard.tap_order),
         "exec_strategy": shard.exec_strategy,
         "batch_size": shard.batch_size,
+        "trace": shard.trace,
     }
 
 
@@ -203,10 +206,11 @@ def decode_shard(payload: dict):
         sensor_type=payload["sensor_type"],
         recovery=payload["recovery"],
         tap_order=tuple(payload["tap_order"]),
-        # Older coordinators omit the batching fields: default to the
-        # serial path they expect.
+        # Older coordinators omit the batching/tracing fields: default
+        # to the serial, untraced path they expect.
         exec_strategy=payload.get("exec_strategy", "serial"),
         batch_size=payload.get("batch_size"),
+        trace=payload.get("trace", False),
     )
 
 

@@ -167,6 +167,13 @@ class ServiceClient:
         """``GET /healthz`` (retried)."""
         return self._get("/healthz")
 
+    def trace(self, job_id: str) -> dict:
+        """``GET /jobs/<id>/trace``: the job's Chrome-trace export
+        (retried).  The server must have been booted with
+        ``repro serve --trace``; otherwise this raises the 404 it
+        answers with."""
+        return self._get(f"/jobs/{job_id}/trace")
+
     def register_worker(self, host: str, port: int,
                         workers: "int | None" = None) -> dict:
         """``POST /workers``: register a worker daemon with this

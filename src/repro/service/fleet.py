@@ -65,7 +65,8 @@ from repro.mutation import (
     SupervisedFuture,
 )
 from repro.mutation.cache import decode_outcome, encode_outcome
-from repro.mutation.campaign import CampaignShard, _run_shard
+from repro.mutation.campaign import CampaignShard, ShardResult, _run_shard
+from repro.obs import REGISTRY, TRACER
 
 from . import api
 
@@ -78,7 +79,10 @@ __all__ = [
 
 def _shard_subset(shard: CampaignShard, indices) -> CampaignShard:
     """The same shard narrowed to ``indices`` (after a cache probe
-    stripped the known mutants)."""
+    stripped the known mutants).  Execution knobs travel with it:
+    dropping ``exec_strategy``/``batch_size`` would silently demote a
+    batched remainder to serial, and dropping ``trace`` would lose the
+    worker-side spans of every cache-narrowed shard."""
     return CampaignShard(
         indices=tuple(indices),
         injected=shard.injected,
@@ -87,6 +91,9 @@ def _shard_subset(shard: CampaignShard, indices) -> CampaignShard:
         sensor_type=shard.sensor_type,
         recovery=shard.recovery,
         tap_order=shard.tap_order,
+        exec_strategy=shard.exec_strategy,
+        batch_size=shard.batch_size,
+        trace=shard.trace,
     )
 
 
@@ -162,8 +169,17 @@ class WorkerCore:
                 with self._lock:
                     self.cache_replays += len(replayed)
             fresh = []
+            obs = None
             if shard is not None:
                 fresh = self.scheduler.submit(shard).result()
+                # The shard's obs payload (relative-offset spans and
+                # execution counters) rides home on the wire response,
+                # stamped with this daemon's identity so the
+                # coordinator's trace grows one track per worker.
+                obs = getattr(fresh, "obs", None)
+                if obs:
+                    obs = dict(obs)
+                    obs["worker"] = self.identity
                 if self.cache is not None and keys is not None:
                     for outcome in fresh:
                         self.cache.put(
@@ -173,6 +189,7 @@ class WorkerCore:
             return {
                 "worker": self.identity,
                 "outcomes": [encode_outcome(o) for o in outcomes],
+                "obs": obs,
             }
         except BaseException:
             with self._lock:
@@ -229,6 +246,10 @@ class RemoteWorkerPlacement(ShardPlacement):
         self._in_flight = 0
         self._shards_done = 0
         self._failures = 0
+        #: Last successful ``/healthz`` payload (refreshed by every
+        #: :meth:`ping`, i.e. each heartbeat) -- the raw material for
+        #: :meth:`FleetPlacement.worker_metrics`.
+        self.last_health: dict = {}
         if workers is None:
             health = self._healthz()
             workers = int(health.get("pool", {}).get("workers") or 1)
@@ -263,6 +284,7 @@ class RemoteWorkerPlacement(ShardPlacement):
                     f"worker {self.identity} unhealthy: "
                     f"HTTP {response.status}"
                 )
+            self.last_health = data
             return data
         except (OSError, http.client.HTTPException) as exc:
             raise PlacementLostError(
@@ -350,9 +372,10 @@ class RemoteWorkerPlacement(ShardPlacement):
                 f"HTTP {response.status}: "
                 f"{data.get('error', 'unknown error')}"
             )
-        return [
-            decode_outcome(o, o["index"]) for o in data["outcomes"]
-        ]
+        return ShardResult(
+            [decode_outcome(o, o["index"]) for o in data["outcomes"]],
+            obs=data.get("obs"),
+        )
 
     # -- ShardPlacement ---------------------------------------------------
 
@@ -557,6 +580,10 @@ class FleetPlacement(ShardPlacement):
             if stripped:
                 with self._lock:
                     self.cache_strip_hits += len(stripped)
+                REGISTRY.inc(
+                    "repro_fleet_cache_strip_hits_total",
+                    value=len(stripped),
+                )
                 replayed += stripped
             if shard is None:
                 self._resolve(outer, replayed)
@@ -588,10 +615,19 @@ class FleetPlacement(ShardPlacement):
                 return  # evicted and already re-dispatched
             error = inner.exception()
             if error is None:
-                self._resolve(outer, replayed + inner.result())
+                result = inner.result()
+                self._resolve(outer, ShardResult(
+                    replayed + result, obs=getattr(result, "obs", None),
+                ))
             elif isinstance(error, PlacementLostError):
                 with self._lock:
                     self.redispatches += 1
+                REGISTRY.inc("repro_fleet_redispatches_total")
+                TRACER.instant(
+                    "fleet.redispatch",
+                    member=getattr(member, "identity", "?"),
+                    error=str(error)[:120],
+                )
                 try:
                     self._dispatch(shard, outer, tried, replayed)
                 except PlacementLostError as exhausted:
@@ -599,6 +635,12 @@ class FleetPlacement(ShardPlacement):
             else:
                 self._resolve(outer, error=error)
 
+        REGISTRY.inc("repro_fleet_dispatches_total")
+        TRACER.instant(
+            "fleet.dispatch",
+            member=getattr(member, "identity", "?"),
+            mutants=len(getattr(shard, "indices", ()) or ()),
+        )
         try:
             inner = member.submit(shard)
         except (PlacementLostError, RuntimeError):
@@ -686,6 +728,18 @@ class FleetPlacement(ShardPlacement):
             if was_alive or victims:
                 self.evictions += 1
             self.redispatches += len(victims)
+        if was_alive or victims:
+            REGISTRY.inc("repro_fleet_evictions_total")
+            TRACER.instant(
+                "fleet.evict",
+                member=getattr(member, "identity", "?"),
+                reason=reason,
+                redispatched=len(victims),
+            )
+        if victims:
+            REGISTRY.inc(
+                "repro_fleet_redispatches_total", value=len(victims)
+            )
         for token in victims:
             try:
                 self._dispatch(
@@ -740,6 +794,49 @@ class FleetPlacement(ShardPlacement):
                 "cache_strip_hits": self.cache_strip_hits,
                 "evictions": self.evictions,
             }
+
+    def worker_metrics(self) -> "list[dict]":
+        """Compact per-worker throughput snapshot for ``/healthz`` and
+        ``repro top`` / ``repro status --server``: shard rate and cache
+        efficiency derived from each member's last health probe (the
+        heartbeat supervisor refreshes them every interval).  The local
+        placement has no probe; its row carries counters only."""
+        rows = []
+        if self.local is not None:
+            described = self.local.describe()
+            rows.append({
+                "kind": described.get("kind", "local"),
+                "identity": described.get("identity", "local"),
+                "alive": bool(described.get("alive", True)),
+                "in_flight": described.get("in_flight", 0),
+                "shards_done": described.get("shards_done", 0),
+                "shards_per_s": None,
+                "cache_hit_ratio": None,
+            })
+        for member in self.members:
+            described = member.describe()
+            health = getattr(member, "last_health", None) or {}
+            uptime = health.get("uptime_s") or 0.0
+            worker = health.get("worker") or {}
+            received = worker.get("shards_received", 0)
+            cache_stats = health.get("cache") or {}
+            hits = cache_stats.get("hits", 0)
+            misses = cache_stats.get("misses", 0)
+            probed = hits + misses
+            rows.append({
+                "kind": described.get("kind", "remote"),
+                "identity": described.get("identity", "?"),
+                "alive": bool(described.get("alive", False)),
+                "in_flight": described.get("in_flight", 0),
+                "shards_done": described.get("shards_done", 0),
+                "shards_per_s": (
+                    round(received / uptime, 4) if uptime else None
+                ),
+                "cache_hit_ratio": (
+                    round(hits / probed, 4) if probed else None
+                ),
+            })
+        return rows
 
 
 def run_shard_inline(shard) -> "list":

@@ -67,6 +67,10 @@ class JobSpec:
     sensor: str
     cycles: "int | None" = None
     shard_size: "int | None" = None
+    #: Batched multi-mutant sweeps of this many mutants per shard
+    #: (:mod:`repro.mutation.batched`); ``None`` keeps the serial
+    #: path.  Field-identical reports either way.
+    batch_size: "int | None" = None
     recovery: bool = True
     stop_on_survivor: bool = False
     score_threshold: "float | None" = None
@@ -82,6 +86,8 @@ class JobSpec:
             raise ValueError("cycles must be >= 1")
         if self.shard_size is not None and self.shard_size < 1:
             raise ValueError("shard_size must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
     def abort_policy(self):
         """The :class:`~repro.mutation.AbortPolicy` this spec asks
@@ -103,6 +109,7 @@ class JobSpec:
             "sensor": self.sensor,
             "cycles": self.cycles,
             "shard_size": self.shard_size,
+            "batch_size": self.batch_size,
             "recovery": self.recovery,
             "stop_on_survivor": self.stop_on_survivor,
             "score_threshold": self.score_threshold,
@@ -115,8 +122,9 @@ class JobSpec:
         fields (a typo'd parameter must 400, not silently fall back to
         a default)."""
         known = {
-            "ip", "sensor", "cycles", "shard_size", "recovery",
-            "stop_on_survivor", "score_threshold", "min_judged",
+            "ip", "sensor", "cycles", "shard_size", "batch_size",
+            "recovery", "stop_on_survivor", "score_threshold",
+            "min_judged",
         }
         unknown = set(payload) - known
         if unknown:

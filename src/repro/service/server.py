@@ -27,9 +27,12 @@ Endpoints::
     GET    /jobs             list all job records     -> 200
     GET    /jobs/<id>        one record (with report) -> 200
     GET    /jobs/<id>/events NDJSON live event stream -> 200 (streams)
+    GET    /jobs/<id>/trace  Chrome trace JSON export -> 200 | 404
     DELETE /jobs/<id>        cancel (shard-granular)  -> 200 + record
     GET    /healthz          pool/queue/cache stats,
-                             per-placement detail     -> 200
+                             per-placement detail,
+                             metrics snapshot         -> 200
+    GET    /metrics          Prometheus text metrics  -> 200
     POST   /shards           execute one wire shard   -> 200 + outcomes
     POST   /workers          register a worker daemon -> 201 + detail
     GET    /workers          registered worker fleet  -> 200
@@ -74,6 +77,7 @@ from repro.faults import fault_point
 from repro.mutation import CampaignScheduler, prepare_campaign
 from repro.mutation.placement import PlacementLostError
 from repro.mutation.scheduler import stream_shard_batches
+from repro.obs import REGISTRY, TRACER, trace_span
 
 from . import api
 from .fleet import FleetPlacement, RemoteWorkerPlacement, WorkerCore
@@ -146,9 +150,15 @@ class CampaignService:
         identity: "str | None" = None,
         heartbeat_interval: "float | None" = 5.0,
         stall_timeout: "float | None" = None,
+        trace: bool = False,
     ) -> None:
         if max_jobs < 1:
             raise ValueError("max_jobs must be >= 1")
+        if trace:
+            # Span tracing for the daemon's lifetime: every job runs
+            # under its own trace context, exported per job via
+            # ``GET /jobs/<id>/trace`` (``repro trace``).
+            TRACER.enable()
         if role not in ("standalone", "coordinator", "worker"):
             raise ValueError(f"unknown service role {role!r}")
         # Job threads trigger the lazy pool creation, and forking a
@@ -356,6 +366,19 @@ class CampaignService:
         self.fleet.add(placement)
         return placement.describe()
 
+    def refresh_gauges(self) -> None:
+        """Bring the registry's gauge series up to date (called at
+        every ``/healthz`` and ``/metrics`` scrape -- gauges describe
+        *now*, unlike the monotonic counters)."""
+        REGISTRY.set_gauge(
+            "repro_uptime_seconds",
+            round(time.time() - self._started_at, 3),
+        )
+        described = self.scheduler.describe()
+        REGISTRY.set_gauge(
+            "repro_inflight_shards", described.get("in_flight", 0)
+        )
+
     def health(self, cache_stats: "dict | None" = None) -> dict:
         """``GET /healthz``: pool, queue and cache statistics.
 
@@ -365,6 +388,7 @@ class CampaignService:
         executor thread rather than on the event loop (a big shared
         cache must not stall every stream for the duration of the
         walk)."""
+        self.refresh_gauges()
         counts = {status: 0 for status in
                   ("queued", "running", "done", "aborted", "failed")}
         for record in self._jobs.values():
@@ -389,6 +413,15 @@ class CampaignService:
             "flows_cached": len(self._flows),
             "state_dir": self.store.root,
             "cache": cache_stats,
+            # Compact observability snapshot: the process-local
+            # registry plus per-worker throughput rows (shards/sec,
+            # in-flight, cache hit ratio) -- the data behind
+            # ``repro top`` and ``repro status --server``.
+            "metrics": {
+                "local": REGISTRY.snapshot(),
+                "workers": self.fleet.worker_metrics(),
+                "tracing": TRACER.enabled,
+            },
         }
 
     # -- loop-thread state mutation ----------------------------------------
@@ -427,6 +460,7 @@ class CampaignService:
         record.finished = time.time()
         record.report = report
         record.error = error
+        REGISTRY.inc("repro_jobs_total", status=status)
         self.store.save(record)
         self._publish(job_id, api.end_event(status, report, error))
         # Live subscribers received the full stream; from here on the
@@ -469,43 +503,62 @@ class CampaignService:
                    started=time.time())
         try:
             spec = record.spec
-            ip_spec = case_study(spec.ip)
-            flow = self._flow(spec.ip, spec.sensor)
-            stimuli = ip_spec.stimulus(
-                spec.cycles or ip_spec.mutation_cycles
-            )
-            started = time.perf_counter()
-            # Jobs stream on the fleet placement: with no registered
-            # workers it is exactly the local scheduler; with workers
-            # it partitions the shard stream across the whole fleet
-            # (least-loaded dispatch, failure re-dispatch) -- and the
-            # report is byte-identical either way.
-            prepared = prepare_campaign(
-                flow.tlm_optimized,
-                flow.injected,
-                stimuli,
-                ip_name=spec.ip,
-                sensor_type=spec.sensor,
-                recovery=spec.recovery,
-                workers=self.fleet.workers,
-                shard_size=spec.shard_size,
-                cache=self.cache,
-            )
-            abort = _JobAbort(spec.abort_policy(), cancel)
-            outcomes: "list" = []
-            for batch, snapshot in stream_shard_batches(
-                self.fleet, prepared, abort=abort, cache=self.cache,
+            # Every span (and the shard spans absorbed back from the
+            # fleet) carries ``job=<id>``, so ``GET /jobs/<id>/trace``
+            # can export exactly this job's slice of the trace.
+            with TRACER.context(job=job_id), trace_span(
+                "job.run", ip=spec.ip, sensor=spec.sensor,
             ):
-                outcomes.extend(batch)
-                self._post(self._publish, job_id, api.shard_event(batch))
-                self._post(self._publish, job_id,
-                           api.progress_event(snapshot))
-                plan = fault_point("server.crash.mid_job")
-                if plan is not None:
-                    self._crash(plan)
-            report = prepared.build_report(
-                outcomes, seconds=time.perf_counter() - started
-            )
+                ip_spec = case_study(spec.ip)
+                flow = self._flow(spec.ip, spec.sensor)
+                stimuli = ip_spec.stimulus(
+                    spec.cycles or ip_spec.mutation_cycles
+                )
+                started = time.perf_counter()
+                # Jobs stream on the fleet placement: with no
+                # registered workers it is exactly the local
+                # scheduler; with workers it partitions the shard
+                # stream across the whole fleet (least-loaded
+                # dispatch, failure re-dispatch) -- and the report is
+                # byte-identical either way.
+                prepared = prepare_campaign(
+                    flow.tlm_optimized,
+                    flow.injected,
+                    stimuli,
+                    ip_name=spec.ip,
+                    sensor_type=spec.sensor,
+                    recovery=spec.recovery,
+                    workers=self.fleet.workers,
+                    shard_size=spec.shard_size,
+                    batch_size=spec.batch_size,
+                    cache=self.cache,
+                )
+                abort = _JobAbort(spec.abort_policy(), cancel)
+                outcomes: "list" = []
+                obs_counters: "dict[str, int]" = {}
+                for batch, snapshot in stream_shard_batches(
+                    self.fleet, prepared, abort=abort, cache=self.cache,
+                ):
+                    outcomes.extend(batch)
+                    payload = getattr(batch, "obs", None) or {}
+                    for name, value in sorted(
+                        (payload.get("counters") or {}).items()
+                    ):
+                        obs_counters[name] = (
+                            obs_counters.get(name, 0) + value
+                        )
+                    self._post(self._publish, job_id,
+                               api.shard_event(batch))
+                    self._post(self._publish, job_id,
+                               api.progress_event(snapshot))
+                    plan = fault_point("server.crash.mid_job")
+                    if plan is not None:
+                        self._crash(plan)
+                report = prepared.build_report(
+                    outcomes, seconds=time.perf_counter() - started
+                )
+                if obs_counters:
+                    report.obs = {"counters": obs_counters}
             status = "aborted" if cancel.is_set() else "done"
             self._post(self._finish, job_id, status,
                        report=api.encode_report(report))
@@ -766,9 +819,31 @@ class ServiceServer:
         writer.write(body)
         await writer.drain()
 
+    async def _respond_text(self, writer, code: int, text: str,
+                            content_type: str) -> None:
+        """Raw (non-JSON) response -- the Prometheus text exposition
+        of ``GET /metrics`` must not be JSON-encoded."""
+        body = text.encode()
+        reason = {200: "OK"}.get(code, "OK")
+        writer.write(
+            f"HTTP/1.1 {code} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n".encode("latin-1")
+        )
+        writer.write(body)
+        await writer.drain()
+
     async def _route(self, writer, method: str, path: str,
                      body: bytes) -> None:
         service = self.service
+        if path == "/metrics" and method == "GET":
+            service.refresh_gauges()
+            await self._respond_text(
+                writer, 200, REGISTRY.render(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         if path == "/healthz" and method == "GET":
             cache_stats = None
             if service.cache is not None:
@@ -906,6 +981,22 @@ class ServiceServer:
             rest = path[len("/jobs/"):]
             if rest.endswith("/events") and method == "GET":
                 await self._stream_events(writer, rest[:-len("/events")])
+                return
+            if rest.endswith("/trace") and method == "GET":
+                job_id = rest[:-len("/trace")]
+                if service.get(job_id) is None:
+                    await self._respond(writer, 404, {
+                        "error": f"no such job {job_id!r}",
+                    })
+                elif not TRACER.enabled:
+                    await self._respond(writer, 404, {
+                        "error": "tracing is disabled on this server "
+                                 "(boot it with `repro serve --trace`)",
+                    })
+                else:
+                    await self._respond(
+                        writer, 200, TRACER.chrome_trace(job=job_id)
+                    )
                 return
             record = service.get(rest)
             if record is None:

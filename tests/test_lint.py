@@ -380,6 +380,64 @@ class TestDeterminismLint:
         targets = [REPO_ROOT / t for t in det.DEFAULT_TARGETS]
         assert det.scan_paths(targets) == []
 
+    def test_wall_clock_boundary_waives_only_wall_clock(self):
+        # A module whose header declares the boundary may read
+        # time.time / time.time_ns without per-line pragmas ...
+        det = _load_det_lint()
+        source = (
+            '"""Sanctioned boundary.\n'
+            "\n"
+            "det-lint: wall-clock-boundary\n"
+            '"""\n'
+            "import time, uuid\n"
+            "stamp = time.time()\n"
+            "stamp_ns = time.time_ns()\n"
+            "key = uuid.uuid4()\n"
+        )
+        problems = det.scan_source(source, "boundary.py")
+        # ... but every other rule still applies.
+        assert [f["line"] for f in problems] == [8]
+        assert "uuid" in problems[0]["problem"]
+
+    def test_boundary_declaration_must_be_in_the_header(self):
+        det = _load_det_lint()
+        filler = "x = 1\n" * det.BOUNDARY_HEADER_LINES
+        source = (
+            filler +
+            "# det-lint: wall-clock-boundary\n"
+            "import time\n"
+            "stamp = time.time()\n"
+        )
+        problems = det.scan_source(source, "late.py")
+        assert len(problems) == 1
+        assert "time.time" in problems[0]["problem"]
+
+    def test_obs_clock_is_the_only_boundary_and_no_pragmas_remain(self):
+        # The PR-10 audit: the two historical `det-lint: allow`
+        # pragmas (result-cache timestamps) were replaced by the
+        # repro.obs.clock boundary -- shipped worker-side code should
+        # carry no blanket pragmas at all now.
+        det = _load_det_lint()
+        boundaries = []
+        pragma_lines = []
+        for target in det.DEFAULT_TARGETS:
+            root = REPO_ROOT / target
+            files = sorted(root.rglob("*.py")) if root.is_dir() \
+                else [root]
+            for path in files:
+                lines = path.read_text().splitlines()
+                header = lines[:det.BOUNDARY_HEADER_LINES]
+                if any(det.WALL_CLOCK_BOUNDARY in ln for ln in header):
+                    boundaries.append(path.relative_to(REPO_ROOT))
+                pragma_lines += [
+                    f"{path.relative_to(REPO_ROOT)}:{i}"
+                    for i, ln in enumerate(lines, 1)
+                    if det.PRAGMA in ln
+                ]
+        assert [str(p) for p in boundaries] == \
+            ["src/repro/obs/clock.py"]
+        assert pragma_lines == []
+
     def test_cli_exit_codes(self, tmp_path, capsys):
         det = _load_det_lint()
         bad = tmp_path / "bad.py"

@@ -1,0 +1,483 @@
+"""Observability tests (PR 10): tracer, metrics, service endpoints.
+
+Acceptance contract:
+
+* the span tracer is inert when disabled and records coordinator
+  spans, instants, thread-local context attributes and absorbed
+  worker-shard captures when enabled; its Chrome-trace export passes
+  :func:`repro.obs.validate_chrome_trace`;
+* tracing changes **nothing** about campaign results: reports run
+  with the tracer on compare field-for-field equal to reports run
+  with it off (the full IP x sensor x workers x batch sweep is gated
+  in ``benchmarks/bench_obs.py``; a smoke slice runs here);
+* :class:`repro.obs.CompletionStamps` rejects late
+  ``add_done_callback`` stamps after ``close()`` -- the scheduler
+  drain-loop fix;
+* the metrics registry renders valid Prometheus text with at least
+  10 well-known series, and ``GET /metrics`` serves it raw;
+* ``GET /healthz`` carries the compact metrics snapshot (per-worker
+  shards/sec, in-flight, cache hit ratio) behind
+  ``repro status --server`` / ``repro top``;
+* ``/events`` progress events stay monotonic under the batched
+  executor and every mutant -- early-killed included -- is counted
+  exactly once;
+* ``GET /jobs/<id>/trace`` 404s while tracing is off and exports a
+  valid, job-filtered Chrome trace when the server runs with
+  ``--trace``.
+"""
+
+import http.client
+import json
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.flow import run_flow
+from repro.ips import case_study
+from repro.mutation import run_campaign
+from repro.obs import (
+    REGISTRY,
+    TRACER,
+    CompletionStamps,
+    MetricsRegistry,
+    ShardCapture,
+    absorb_shard_counters,
+    shard_capture,
+    shard_count,
+    shard_span,
+    trace_span,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import _WORKER_PID_BASE
+from repro.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceServer,
+    decode_report,
+)
+
+REDUCED_CYCLES = 24
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Obs state is process-global; leave every test a blank slate."""
+    TRACER.disable()
+    TRACER.clear()
+    REGISTRY.reset()
+    yield
+    TRACER.disable()
+    TRACER.clear()
+    REGISTRY.reset()
+
+
+@pytest.fixture(scope="module")
+def flow():
+    """One memoised flow build (filter/razor) for the whole module."""
+    return run_flow(case_study("filter"), "razor", run_mutation=False)
+
+
+def _campaign(flow, **kwargs):
+    stim = case_study("filter").stimulus(REDUCED_CYCLES)
+    return run_campaign(
+        flow.tlm_optimized, flow.injected, stim,
+        ip_name="filter", sensor_type="razor", **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        with trace_span("quiet", ip="filter"):
+            TRACER.instant("ping")
+        assert len(TRACER) == 0
+        # Disabled spans share one nullcontext -- no per-call object.
+        assert trace_span("a") is trace_span("b")
+
+    def test_enabled_span_and_instant_are_recorded(self):
+        TRACER.enable()
+        with trace_span("work", ip="filter"):
+            TRACER.instant("ping", n=3)
+        assert len(TRACER) == 2
+        events = TRACER.chrome_trace()["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert spans[0]["name"] == "work"
+        assert spans[0]["args"]["ip"] == "filter"
+        assert spans[0]["dur"] >= 0
+        assert instants[0]["name"] == "ping"
+        assert instants[0]["args"]["n"] == 3
+
+    def test_context_attrs_flow_into_spans_and_filter_exports(self):
+        TRACER.enable()
+        with TRACER.context(job="j1"):
+            with trace_span("inner"):
+                pass
+        with TRACER.context(job="j2"):
+            TRACER.instant("other")
+        j1 = TRACER.chrome_trace(job="j1")["traceEvents"]
+        assert [e["name"] for e in j1 if e["ph"] != "M"] == ["inner"]
+        assert all(e["args"]["job"] == "j1"
+                   for e in j1 if e["ph"] != "M")
+        everything = TRACER.chrome_trace()["traceEvents"]
+        assert {e["name"] for e in everything} >= {"inner", "other"}
+
+    def test_absorb_shard_re_anchors_on_a_worker_track(self):
+        TRACER.enable()
+        capture = ShardCapture(spans_enabled=True)
+        with capture.span("mutant", index=7):
+            pass
+        payload = capture.payload()
+        payload["worker"] = "worker-a:1234"
+        TRACER.absorb_shard(payload)
+        events = TRACER.chrome_trace()["traceEvents"]
+        mutant = [e for e in events if e["name"] == "mutant"]
+        assert mutant and mutant[0]["pid"] > _WORKER_PID_BASE
+        # The worker identity becomes a named track.
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "repro worker worker-a:1234" in names
+        assert validate_chrome_trace(TRACER.chrome_trace()) == []
+
+    def test_enable_resets_the_timeline(self):
+        TRACER.enable()
+        with trace_span("old"):
+            pass
+        TRACER.enable()
+        assert len(TRACER) == 0
+
+
+class TestShardCapture:
+    def test_helpers_are_noops_outside_a_capture(self):
+        shard_count("mutants", 5)
+        with shard_span("mutant"):
+            pass  # must not raise
+
+    def test_counters_always_spans_only_when_enabled(self):
+        with shard_capture(spans_enabled=False) as capture:
+            shard_count("mutants", 2)
+            with shard_span("mutant"):
+                pass
+        payload = capture.payload()
+        assert payload["counters"] == {"mutants": 2}
+        assert payload["spans"] == []
+        assert payload["elapsed_s"] >= 0
+        with shard_capture(spans_enabled=True) as capture:
+            with shard_span("mutant", index=1):
+                pass
+        spans = capture.payload()["spans"]
+        assert [s["name"] for s in spans] == ["mutant"]
+        assert spans[0]["start_s"] >= 0 and spans[0]["dur_s"] >= 0
+
+
+class TestValidateChromeTrace:
+    def test_accepts_a_well_formed_trace(self):
+        payload = {"traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 5,
+             "pid": 1, "tid": 1},
+            {"name": "b", "ph": "i", "ts": 2, "pid": 1, "tid": 1},
+            {"name": "process_name", "ph": "M", "ts": 0,
+             "pid": 1, "tid": 0, "args": {"name": "p"}},
+        ]}
+        assert validate_chrome_trace(payload) == []
+
+    def test_rejects_malformed_traces(self):
+        assert validate_chrome_trace([]) == ["payload is not an object"]
+        assert validate_chrome_trace({}) == ["traceEvents is not a list"]
+        bad = {"traceEvents": [
+            {"name": "", "ph": "X", "ts": 0, "dur": -1,
+             "pid": 1, "tid": 1},
+            {"name": "x", "ph": "?", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "open", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_chrome_trace(bad)
+        text = "\n".join(problems)
+        assert "missing name" in text
+        assert "bad dur" in text
+        assert "unknown phase" in text
+        assert "unclosed B" in text
+
+
+# ----------------------------------------------------------------------
+# CompletionStamps (the scheduler drain-loop fix)
+# ----------------------------------------------------------------------
+
+class TestCompletionStamps:
+    def test_stamp_and_pop(self):
+        stamps = CompletionStamps()
+        assert stamps.stamp("k") is True
+        first = stamps.pop("k")
+        assert isinstance(first, float)
+        assert stamps.pop("k") is None
+
+    def test_first_stamp_wins(self):
+        stamps = CompletionStamps()
+        stamps.stamp("k")
+        stamps.stamp("k")
+        assert len(stamps) == 1
+
+    def test_late_callback_after_close_is_a_noop(self):
+        # The regression: an executor may fire add_done_callback after
+        # the drain loop exited; the old bare dict kept accepting and
+        # leaking those entries.
+        stamps = CompletionStamps()
+        done = Future()
+        done.add_done_callback(stamps.stamp)
+        done.set_result(None)
+        assert len(stamps) == 1
+        stamps.close()
+        assert stamps.closed and len(stamps) == 0
+        late = Future()
+        late.add_done_callback(stamps.stamp)
+        late.set_result(None)  # fires stamps.stamp(late) -- post-close
+        assert stamps.stamp("direct") is False
+        assert len(stamps) == 0
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_cache_hits_total", 3)
+        reg.set_gauge("repro_inflight_shards", 2)
+        reg.observe("repro_shard_seconds", 0.2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"repro_cache_hits_total": 3.0}
+        assert snap["gauges"] == {"repro_inflight_shards": 2.0}
+        assert snap["histograms"]["repro_shard_seconds"]["count"] == 1
+
+    def test_labels_render_prometheus_style(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_jobs_total", status="done")
+        reg.inc("repro_jobs_total", status="failed")
+        text = reg.render()
+        assert '# TYPE repro_jobs_total counter' in text
+        assert 'repro_jobs_total{status="done"} 1' in text
+        assert 'repro_jobs_total{status="failed"} 1' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        reg.observe("repro_shard_seconds", 0.03)
+        reg.observe("repro_shard_seconds", 5.0)
+        text = reg.render()
+        assert 'repro_shard_seconds_bucket{le="0.05"} 1' in text
+        assert 'repro_shard_seconds_bucket{le="10"} 2' in text
+        assert 'repro_shard_seconds_bucket{le="+Inf"} 2' in text
+        assert 'repro_shard_seconds_count 2' in text
+
+    def test_at_least_ten_series_have_help_text(self):
+        # The acceptance bar: >= 10 named series on GET /metrics.
+        from repro.obs.metrics import _HELP
+
+        reg = MetricsRegistry()
+        for name in _HELP:
+            if name == "repro_shard_seconds":
+                reg.observe(name, 0.1)
+            elif name.endswith("_total"):
+                reg.inc(name)
+            else:
+                reg.set_gauge(name, 1.0)
+        text = reg.render()
+        typed = [ln for ln in text.splitlines()
+                 if ln.startswith("# TYPE ")]
+        assert len(typed) >= 10
+        for name in _HELP:
+            assert f"# HELP {name} " in text
+
+    def test_absorb_shard_counters_maps_to_series(self):
+        reg = MetricsRegistry()
+        raw = absorb_shard_counters(
+            {"counters": {"shards": 1, "mutants": 4, "batch_forks": 2},
+             "elapsed_s": 0.5},
+            registry=reg,
+        )
+        assert raw == {"shards": 1, "mutants": 4, "batch_forks": 2}
+        assert reg.counter_value("repro_shards_executed_total") == 1
+        assert reg.counter_value("repro_mutants_executed_total") == 4
+        assert reg.counter_value("repro_batch_forks_total") == 2
+        snap = reg.snapshot()
+        assert snap["histograms"]["repro_shard_seconds"]["count"] == 1
+        assert absorb_shard_counters(None, registry=reg) == {}
+
+
+# ----------------------------------------------------------------------
+# Tracing never changes results
+# ----------------------------------------------------------------------
+
+class TestTracingFieldIdentity:
+    @pytest.mark.parametrize("batch_size", [None, 3])
+    def test_report_identical_with_tracing_on(self, flow, batch_size):
+        baseline = _campaign(flow, workers=1, batch_size=batch_size)
+        TRACER.enable()
+        traced = _campaign(flow, workers=1, batch_size=batch_size)
+        TRACER.disable()
+        assert traced == baseline            # dataclass eq: scored fields
+        assert traced.outcomes == baseline.outcomes
+        # The traced run actually recorded campaign + shard spans.
+        names = {e["name"]
+                 for e in TRACER.chrome_trace()["traceEvents"]}
+        assert {"campaign.run", "shard.execute"} <= names
+
+    def test_campaign_report_carries_obs_counters(self, flow):
+        report = _campaign(flow, workers=1)
+        assert report.obs is not None
+        counters = report.obs["counters"]
+        assert counters["mutants"] == report.total
+        assert counters["shards"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Service endpoints
+# ----------------------------------------------------------------------
+
+def _server(flow, **kwargs):
+    kwargs.setdefault("workers", 1)
+    service = CampaignService(
+        flows={("filter", "razor"): flow}, **kwargs
+    )
+    return ServiceServer(service)
+
+
+def _client(server):
+    host, port = server.address
+    return ServiceClient(host, port, timeout=60.0,
+                         stream_timeout=120.0)
+
+
+def _http_get(server, path):
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.getheader("Content-Type"), \
+            response.read().decode()
+    finally:
+        conn.close()
+
+
+SPEC = {"ip": "filter", "sensor": "razor", "cycles": REDUCED_CYCLES}
+
+
+class TestServiceMetricsEndpoints:
+    def test_metrics_endpoint_serves_prometheus_text(self, flow):
+        with _server(flow) as server:
+            client = _client(server)
+            record = client.submit(dict(SPEC))
+            end = client.watch(record["id"])
+            assert end["status"] == "done"
+            status, ctype, body = _http_get(server, "/metrics")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            assert "version=0.0.4" in ctype
+            assert 'repro_jobs_total{status="done"} 1' in body
+            assert "repro_shards_executed_total" in body
+            assert "repro_mutants_executed_total" in body
+            assert "# TYPE repro_uptime_seconds gauge" in body
+            assert "# TYPE repro_inflight_shards gauge" in body
+
+    def test_healthz_carries_the_metrics_snapshot(self, flow):
+        with _server(flow) as server:
+            client = _client(server)
+            record = client.submit(dict(SPEC))
+            client.watch(record["id"])
+            health = client.health()
+            metrics = health["metrics"]
+            assert metrics["tracing"] is False
+            counters = metrics["local"]["counters"]
+            assert counters["repro_shards_executed_total"] >= 1
+            # Per-worker rows: the local pool row is always present.
+            workers = metrics["workers"]
+            assert workers and workers[0]["kind"] == "local"
+            row = workers[0]
+            assert set(row) >= {"identity", "alive", "in_flight",
+                                "shards_done", "shards_per_s",
+                                "cache_hit_ratio"}
+
+
+class TestBatchedProgressEvents:
+    def test_progress_monotonic_and_each_mutant_counted_once(self, flow):
+        """Satellite: /events under the batched executor.  Submit with
+        batch_size=3 (forks + early-kills happen at this testbench
+        length), attach before the job runs, and check the stream's
+        accounting."""
+        cycles = case_study("filter").mutation_cycles
+        with _server(flow, max_jobs=1) as server:
+            client = _client(server)
+            blocker = client.submit({"ip": "filter", "sensor": "razor",
+                                     "cycles": cycles, "shard_size": 1})
+            record = client.submit({**SPEC, "shard_size": 4,
+                                    "batch_size": 3})
+            events = []
+            collector = threading.Thread(
+                target=lambda: events.extend(
+                    client.events(record["id"])
+                )
+            )
+            collector.start()
+            _client(server).cancel(blocker["id"])
+            collector.join(timeout=120)
+            assert not collector.is_alive()
+            end = events[-1]
+            assert end["type"] == "end" and end["status"] == "done"
+            report = decode_report(end["report"])
+            total = report.total
+            # Monotonic executed counts, finishing exactly at total.
+            dones = [e["done"] for e in events
+                     if e["type"] == "progress"]
+            assert dones == sorted(dones)
+            assert dones[-1] == total
+            # Every mutant -- early-killed included -- exactly once.
+            indices = sorted(
+                o["index"]
+                for e in events if e["type"] == "shard"
+                for o in e["outcomes"]
+            )
+            assert indices == list(range(total))
+            # And batched equals serial through the service.
+            serial = client.submit(dict(SPEC))
+            serial_end = client.watch(serial["id"])
+            assert decode_report(serial_end["report"]) == report
+
+
+class TestTraceEndpoint:
+    def test_trace_404s_when_tracing_is_disabled(self, flow):
+        with _server(flow) as server:
+            client = _client(server)
+            record = client.submit(dict(SPEC))
+            client.watch(record["id"])
+            status, _ctype, body = _http_get(
+                server, f"/jobs/{record['id']}/trace"
+            )
+            assert status == 404
+            assert "tracing is disabled" in body
+            status, _ctype, _body = _http_get(
+                server, "/jobs/nope/trace"
+            )
+            assert status == 404
+
+    def test_traced_server_exports_a_valid_job_trace(self, flow):
+        with _server(flow, trace=True) as server:
+            client = _client(server)
+            first = client.submit(dict(SPEC))
+            client.watch(first["id"])
+            second = client.submit({**SPEC, "batch_size": 3})
+            second_end = client.watch(second["id"])
+            payload = client.trace(second["id"])
+            assert validate_chrome_trace(payload) == []
+            events = payload["traceEvents"]
+            names = {e["name"] for e in events}
+            assert {"job.run", "campaign.prepare",
+                    "shard.execute"} <= names
+            # Job filtering: nothing from the first job leaks in.
+            assert all(e["args"]["job"] == second["id"]
+                       for e in events if e["ph"] != "M")
+            # Tracing did not perturb the batched report either.
+            assert decode_report(second_end["report"]).total > 0

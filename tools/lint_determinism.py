@@ -24,9 +24,15 @@ and rejects:
   order is hash-seed dependent across processes; sort first.
 
 Intentional exceptions carry the pragma comment ``# det-lint: allow``
-on the offending line (append a reason after the pragma).  Exit code
-is 1 when any unwaived finding remains, 0 otherwise; ``--format
-json`` emits machine-readable findings for CI artifacts.
+on the offending line (append a reason after the pragma).  A module
+whose *header* (docstring / first ~40 lines) declares
+``det-lint: wall-clock-boundary`` is a sanctioned wall-clock boundary:
+plain wall-clock reads (``time.time`` / ``time.time_ns``) pass there
+without per-line pragmas, while every *other* rule still applies.
+Exactly one such boundary exists (:mod:`repro.obs.clock`); worker-side
+call sites use its ``metadata_wall_clock()`` instead of pragma lines.
+Exit code is 1 when any unwaived finding remains, 0 otherwise;
+``--format json`` emits machine-readable findings for CI artifacts.
 """
 
 from __future__ import annotations
@@ -43,11 +49,23 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: them data that must be reproducible).
 DEFAULT_TARGETS = (
     "src/repro/mutation",
+    "src/repro/obs",
     "src/repro/rtl",
     "src/repro/faults.py",
 )
 
 PRAGMA = "det-lint: allow"
+
+#: Module-header declaration marking the one sanctioned wall-clock
+#: boundary (see :mod:`repro.obs.clock`).  Scoped narrowly: it only
+#: waives plain wall-clock reads, and only when declared in the first
+#: :data:`BOUNDARY_HEADER_LINES` lines (the docstring), so a stray
+#: comment deep in a module cannot silently widen the waiver.
+WALL_CLOCK_BOUNDARY = "det-lint: wall-clock-boundary"
+BOUNDARY_HEADER_LINES = 40
+
+#: The only findings a wall-clock-boundary module is excused from.
+BOUNDARY_WAIVED_CALLS = {("time", "time"), ("time", "time_ns")}
 
 #: ``module.attr`` call targets that read nondeterministic sources.
 FORBIDDEN_CALLS = {
@@ -101,6 +119,10 @@ def scan_source(source: str, path: str) -> "list[dict]":
     tree = ast.parse(source, filename=path)
     lines = source.splitlines()
     findings: "list[dict]" = []
+    boundary = any(
+        WALL_CLOCK_BOUNDARY in line
+        for line in lines[:BOUNDARY_HEADER_LINES]
+    )
 
     def allowed(lineno: int) -> bool:
         return (
@@ -122,7 +144,8 @@ def scan_source(source: str, path: str) -> "list[dict]":
         if isinstance(node, ast.Call):
             target = _call_target(node)
             if target in FORBIDDEN_CALLS:
-                report(node, FORBIDDEN_CALLS[target])
+                if not (boundary and target in BOUNDARY_WAIVED_CALLS):
+                    report(node, FORBIDDEN_CALLS[target])
             elif target is not None and target[0] == "random" and \
                     target[1] in RANDOM_MODULE_FUNCTIONS:
                 report(
